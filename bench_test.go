@@ -1,0 +1,157 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§2.2 preliminary study and §5). Each benchmark runs its experiment's
+// full workload set through the simulator and reports the headline metric
+// as custom units, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation; cmd/unimem-bench prints the same artifacts as full tables.
+//
+// Experiments run in Quick mode under testing.B (iteration counts capped);
+// use the CLI for paper-fidelity numbers.
+package unimem_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"unimem"
+)
+
+// runExp executes one experiment per benchmark iteration.
+func runExp(b *testing.B, id string) *unimem.Experiment {
+	b.Helper()
+	_, reg := unimem.Experiments()
+	runner, ok := reg[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	s := unimem.NewExperimentSuite()
+	s.Quick = true
+	var tbl *unimem.Experiment
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err = runner(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	return tbl
+}
+
+// report extracts a numeric cell (row label, column index) as a metric.
+func report(b *testing.B, tbl *unimem.Experiment, rowLabel string, col int, metric string) {
+	b.Helper()
+	for _, row := range tbl.Rows {
+		if row[0] == rowLabel {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+			if err == nil {
+				b.ReportMetric(v, metric)
+			}
+			return
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (NVM technology characteristics).
+func BenchmarkTable1(b *testing.B) { runExp(b, "table1") }
+
+// BenchmarkCalib regenerates the CF_bw/CF_lat/BW_peak calibration (§3.1.2).
+func BenchmarkCalib(b *testing.B) { runExp(b, "calib") }
+
+// BenchmarkTable3 regenerates Table 3 (target data objects).
+func BenchmarkTable3(b *testing.B) { runExp(b, "table3") }
+
+// BenchmarkFig2 regenerates Fig. 2 (NVM-only slowdown vs bandwidth);
+// reports LU's slowdown at 1/2 bandwidth.
+func BenchmarkFig2(b *testing.B) {
+	tbl := runExp(b, "fig2")
+	report(b, tbl, "LU", 1, "LU-halfbw-x")
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (NVM-only slowdown vs latency);
+// reports LU's slowdown at 2x latency.
+func BenchmarkFig3(b *testing.B) {
+	tbl := runExp(b, "fig3")
+	report(b, tbl, "LU", 1, "LU-2xlat-x")
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (SP per-object placement impact).
+func BenchmarkFig4(b *testing.B) { runExp(b, "fig4") }
+
+// BenchmarkFig9 regenerates Fig. 9 (basic test, 1/2 bandwidth NVM);
+// reports the average Unimem normalized time.
+func BenchmarkFig9(b *testing.B) {
+	tbl := runExp(b, "fig9")
+	report(b, tbl, "avg", 4, "unimem-avg-x")
+	report(b, tbl, "avg", 2, "nvmonly-avg-x")
+}
+
+// BenchmarkFig10 regenerates Fig. 10 (basic test, 4x latency NVM).
+func BenchmarkFig10(b *testing.B) {
+	tbl := runExp(b, "fig10")
+	report(b, tbl, "avg", 4, "unimem-avg-x")
+	report(b, tbl, "avg", 2, "nvmonly-avg-x")
+}
+
+// BenchmarkFig11 regenerates Fig. 11 (technique ablation).
+func BenchmarkFig11(b *testing.B) { runExp(b, "fig11") }
+
+// BenchmarkTable4 regenerates Table 4 (migration details).
+func BenchmarkTable4(b *testing.B) { runExp(b, "table4") }
+
+// BenchmarkFig12 regenerates Fig. 12 (CG strong scaling on Edison-like
+// NUMA-emulated NVM).
+func BenchmarkFig12(b *testing.B) { runExp(b, "fig12") }
+
+// BenchmarkFig13 regenerates Fig. 13 (DRAM size sensitivity).
+func BenchmarkFig13(b *testing.B) {
+	tbl := runExp(b, "fig13")
+	report(b, tbl, "MG", 2, "MG-128MB-x")
+}
+
+// BenchmarkRuntimeDecision measures one full profile->model->knapsack->
+// schedule decision on the richest workload (Nek5000's 48 objects), the
+// critical-path cost the paper bounds as "pure runtime cost".
+func BenchmarkRuntimeDecision(b *testing.B) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	cfg := unimem.DefaultConfig()
+	cfg.Calibration = unimem.Calibrate(m)
+	w := unimem.NewNek5000("C", 4)
+	cp := *w
+	cp.Iterations = 2 // profile + decide, minimal enforcement
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := unimem.Run(&cp, m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMigrationPath measures the helper-thread migration machinery
+// (enqueue -> real copy -> sync) end to end.
+func BenchmarkMigrationPath(b *testing.B) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	cfg := unimem.DefaultConfig()
+	cfg.Calibration = unimem.Calibrate(m)
+	cfg.EnableInitial = false // force adoption migrations
+	app := unimem.NewApp("mig", 1, 4)
+	app.Object("a", 64<<20)
+	app.ComputePhase("sweep", 5e6, unimem.Stream("a", 1e6, 0.5))
+	app.CommPhase("sync", unimem.Barrier, 0, 0)
+	w := app.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := unimem.Run(w, m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the model-refinement ablation (DESIGN.md
+// §6): full Unimem vs literal Eq. 3 / naive predictor / no hysteresis.
+func BenchmarkAblation(b *testing.B) { runExp(b, "ablation") }
+
+// BenchmarkTechSweep evaluates the named Table 1 technologies (STT-RAM,
+// PCRAM, ReRAM) end to end: NVM-only vs Unimem on CG and MG.
+func BenchmarkTechSweep(b *testing.B) { runExp(b, "techsweep") }

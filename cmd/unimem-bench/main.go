@@ -1,0 +1,91 @@
+// Command unimem-bench regenerates the paper's evaluation tables and
+// figures. Each experiment prints the same rows/series the paper reports,
+// normalized to DRAM-only execution time.
+//
+// Usage:
+//
+//	unimem-bench -list
+//	unimem-bench -exp fig9
+//	unimem-bench -exp all -class C -ranks 4
+//	unimem-bench -exp table4 -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"unimem/internal/exp"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		class = flag.String("class", "C", "NPB class for the basic tests (A/B/C/D)")
+		ranks = flag.Int("ranks", 4, "MPI world size")
+		seed  = flag.Uint64("seed", 0xD07, "deterministic seed")
+		quick = flag.Bool("quick", false, "cap iteration counts (fast, less faithful)")
+		csv   = flag.String("csv", "", "also write results as CSV to this file")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	order, reg := exp.Registry()
+	if *list {
+		for _, id := range order {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	s := exp.NewSuite()
+	s.Class = *class
+	s.Ranks = *ranks
+	s.Seed = *seed
+	s.Quick = *quick
+
+	var ids []string
+	if *expID == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			if _, ok := reg[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	var csvOut *os.File
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		t, err := reg[id](s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("  (%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if csvOut != nil {
+			fmt.Fprintf(csvOut, "# %s: %s\n", t.ID, t.Title)
+			if err := t.WriteCSV(csvOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(csvOut)
+		}
+	}
+}

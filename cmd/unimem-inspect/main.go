@@ -1,0 +1,133 @@
+// Command unimem-inspect runs one benchmark under the Unimem runtime and
+// dumps the runtime's internals: the calibration, the candidate plans with
+// their predicted iteration times, the winning strategy's desired DRAM
+// sets and migration schedule, and the per-rank migration/overlap
+// statistics — the observability companion to cmd/unimem-bench.
+//
+// Usage:
+//
+//	unimem-inspect -workload SP -nvm lat4
+//	unimem-inspect -workload Nek5000 -nvm halfbw -ranks 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"unimem"
+)
+
+func main() {
+	var (
+		name  = flag.String("workload", "CG", "CG|FT|BT|LU|SP|MG|Nek5000")
+		class = flag.String("class", "C", "NPB class")
+		ranks = flag.Int("ranks", 4, "world size")
+		nvm   = flag.String("nvm", "halfbw", "NVM config: halfbw|quarterbw|lat2|lat4|edison")
+		dram  = flag.Int64("dram-mb", 256, "per-node DRAM in MiB")
+	)
+	flag.Parse()
+
+	var m *unimem.Machine
+	switch *nvm {
+	case "halfbw":
+		m = unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	case "quarterbw":
+		m = unimem.PlatformA().WithNVMBandwidthFraction(0.25)
+	case "lat2":
+		m = unimem.PlatformA().WithNVMLatencyFactor(2)
+	case "lat4":
+		m = unimem.PlatformA().WithNVMLatencyFactor(4)
+	case "edison":
+		m = unimem.Edison()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown NVM config %q\n", *nvm)
+		os.Exit(2)
+	}
+	m = m.WithDRAMCapacity(*dram << 20)
+
+	var w *unimem.Workload
+	if *name == "Nek5000" {
+		w = unimem.NewNek5000(*class, *ranks)
+	} else {
+		w = unimem.NewNPB(*name, *class, *ranks)
+	}
+
+	cal := unimem.Calibrate(m)
+	fmt.Printf("machine  %s  DRAM=%dMiB\n", m.Name, m.DRAMSpec.CapacityBytes>>20)
+	fmt.Printf("calib    %s\n\n", cal)
+
+	cfg := unimem.DefaultConfig()
+	cfg.Calibration = cal
+
+	dramRes, err := unimem.RunDRAMOnly(w, m)
+	check(err)
+	nvmRes, err := unimem.RunNVMOnly(w, m)
+	check(err)
+	res, rts, err := unimem.Run(w, m, cfg)
+	check(err)
+
+	norm := func(t int64) float64 { return float64(t) / float64(dramRes.TimeNS) }
+	fmt.Printf("%-12s %12s %8s\n", "run", "time", "vs DRAM")
+	fmt.Printf("%-12s %12.1fms %8.2fx\n", "dram-only", float64(dramRes.TimeNS)/1e6, 1.0)
+	fmt.Printf("%-12s %12.1fms %8.2fx\n", "nvm-only", float64(nvmRes.TimeNS)/1e6, norm(nvmRes.TimeNS))
+	fmt.Printf("%-12s %12.1fms %8.2fx\n\n", "unimem", float64(res.TimeNS)/1e6, norm(res.TimeNS))
+
+	sort.Slice(rts, func(a, b int) bool { return rts[a].Rank() < rts[b].Rank() })
+	for _, rt := range rts {
+		rr := res.Ranks[rt.Rank()]
+		ms := rt.MoverStats()
+		fmt.Printf("rank %d: decisions=%d migrations=%d moved=%dMiB failed=%d overlap=%.1f%% overhead=%.2f%%\n",
+			rt.Rank(), rt.Decisions, rr.Migrations.Migrations,
+			rr.Migrations.BytesMigrated>>20, rr.Migrations.FailedNoSpace,
+			ms.OverlapFrac()*100,
+			rr.OverheadNS/float64(rr.TimeNS)*100)
+	}
+
+	rt := rts[0]
+	fmt.Printf("\nrank 0 candidate plans:\n")
+	for _, p := range rt.Candidates {
+		fmt.Printf("  %-20s predicted=%.2fms adoption=%d schedule=%d\n",
+			p.Strategy, p.PredictedIterNS/1e6, len(p.Adoption), len(p.Schedule))
+	}
+	plan := rt.Plan()
+	if plan == nil {
+		return
+	}
+	fmt.Printf("\nwinning strategy: %s\n", plan.Strategy)
+	printed := map[string]bool{}
+	for pid, set := range plan.Desired {
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		key := fmt.Sprint(names)
+		if printed[key] {
+			continue
+		}
+		printed[key] = true
+		fmt.Printf("  phase %d desired DRAM: %v\n", pid, names)
+	}
+	if len(plan.Schedule) > 0 {
+		fmt.Println("\nrecurring migration schedule (per iteration):")
+		for _, mv := range plan.Schedule {
+			fmt.Printf("  %v\n", mv)
+		}
+	}
+	fmt.Printf("\nrank 0 final DRAM residents: %v\n", rt.DRAMResidents())
+
+	fmt.Println("\nper-phase mean durations (across iterations, rank 0):")
+	for i, d := range res.PhaseNS {
+		fmt.Printf("  %-16s %10.2fms  (%s)\n",
+			w.Phases[i].Name, d/1e6, w.Phases[i].Kind)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// CG solver: runs the paper's conjugate-gradient benchmark (Fig. 1's phase
+// structure) under all four systems of the evaluation — DRAM-only,
+// NVM-only, the X-Mem offline baseline and Unimem — and dumps Unimem's
+// decision internals: both candidate plans, the winning search strategy,
+// and the migration log, mirroring the paper's Table 4 columns.
+//
+//	go run ./examples/cgsolver
+//	go run ./examples/cgsolver -nvm lat4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"unimem"
+)
+
+func main() {
+	nvmCfg := flag.String("nvm", "halfbw", "halfbw or lat4")
+	flag.Parse()
+
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	if *nvmCfg == "lat4" {
+		m = unimem.PlatformA().WithNVMLatencyFactor(4)
+	}
+	w := unimem.NewNPB("CG", "C", 4)
+
+	dram, err := unimem.RunDRAMOnly(w, m)
+	must(err)
+	nvm, err := unimem.RunNVMOnly(w, m)
+	must(err)
+	xm, err := unimem.RunXMem(w, m)
+	must(err)
+	cfg := unimem.DefaultConfig()
+	cfg.Calibration = unimem.Calibrate(m)
+	uni, rts, err := unimem.Run(w, m, cfg)
+	must(err)
+
+	fmt.Printf("CG Class C, 4 ranks, NVM=%s (paper Figs. 9/10 row)\n\n", *nvmCfg)
+	norm := func(t int64) float64 { return float64(t) / float64(dram.TimeNS) }
+	for _, row := range []struct {
+		name string
+		t    int64
+	}{
+		{"dram-only", dram.TimeNS}, {"nvm-only", nvm.TimeNS},
+		{"x-mem", xm.TimeNS}, {"unimem", uni.TimeNS},
+	} {
+		fmt.Printf("  %-10s %9.1fms  %.2fx\n", row.name, float64(row.t)/1e6, norm(row.t))
+	}
+
+	rt := rts[0]
+	fmt.Printf("\ndecision internals (rank 0):\n")
+	for _, p := range rt.Candidates {
+		marker := " "
+		if p.Strategy == rt.Plan().Strategy {
+			marker = "*"
+		}
+		fmt.Printf(" %s %-20s predicted iter %.2fms, %d recurring moves\n",
+			marker, p.Strategy, p.PredictedIterNS/1e6, len(p.Schedule))
+	}
+	fmt.Printf("\nDRAM residents: %v\n", rt.DRAMResidents())
+
+	// The paper's Table 4 row for CG.
+	st := rt.MoverStats()
+	r0 := uni.Ranks[0]
+	fmt.Printf("\nTable-4 view: migrations=%d movedMB=%d runtimeCost=%.1f%% overlap=%.1f%%\n",
+		r0.Migrations.Migrations, r0.Migrations.BytesMigrated>>20,
+		r0.OverheadNS/float64(r0.TimeNS)*100, st.OverlapFrac()*100)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

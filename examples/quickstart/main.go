@@ -1,0 +1,65 @@
+// Quickstart: describe a small iterative application with the public API,
+// run it on DRAM-only, NVM-only and Unimem-managed HMS configurations, and
+// print the normalized comparison plus the placement Unimem chose.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unimem"
+)
+
+func main() {
+	// An HMS whose NVM has half of DRAM's bandwidth, with 192 MiB of DRAM
+	// per node — too small for all three objects below (3 x 96 MiB).
+	m := unimem.PlatformA().
+		WithNVMBandwidthFraction(0.5).
+		WithDRAMCapacity(192 << 20)
+
+	// The application: a field solver sweeping one array, gathering
+	// through an index structure, and reducing a residual each iteration.
+	app := unimem.NewApp("quickstart", 4, 40)
+	app.Object("field", 96<<20, unimem.WithHint(2e6))
+	app.Object("index", 96<<20, unimem.WithHint(4e5))
+	app.Object("checkpoint", 96<<20) // touched rarely; should stay in NVM
+	app.ComputePhase("sweep", 30e6,
+		unimem.Stream("field", 2e6, 0.5),
+		unimem.Chase("index", 4e5, 0))
+	app.ComputePhase("snapshot", 2e6,
+		unimem.Stream("checkpoint", 5e4, 1))
+	app.CommPhase("residual", unimem.Allreduce, 64, 1e6)
+	w := app.Build()
+
+	dram, err := unimem.RunDRAMOnly(w, m)
+	must(err)
+	nvm, err := unimem.RunNVMOnly(w, m)
+	must(err)
+
+	cfg := unimem.DefaultConfig()
+	cfg.Calibration = unimem.Calibrate(m) // once per platform
+	uni, rts, err := unimem.Run(w, m, cfg)
+	must(err)
+
+	norm := func(t int64) float64 { return float64(t) / float64(dram.TimeNS) }
+	fmt.Printf("%-10s %10s  %s\n", "config", "time", "vs DRAM-only")
+	fmt.Printf("%-10s %8.1fms  %.2fx\n", "dram-only", float64(dram.TimeNS)/1e6, 1.0)
+	fmt.Printf("%-10s %8.1fms  %.2fx\n", "nvm-only", float64(nvm.TimeNS)/1e6, norm(nvm.TimeNS))
+	fmt.Printf("%-10s %8.1fms  %.2fx\n\n", "unimem", float64(uni.TimeNS)/1e6, norm(uni.TimeNS))
+
+	rt := rts[0]
+	fmt.Printf("strategy: %s\n", rt.Plan().Strategy)
+	fmt.Printf("rank 0 DRAM residents: %v\n", rt.DRAMResidents())
+	fmt.Printf("migrations: %d (%d MiB), helper-thread overlap %.0f%%\n",
+		uni.Ranks[0].Migrations.Migrations,
+		uni.Ranks[0].Migrations.BytesMigrated>>20,
+		rt.MoverStats().OverlapFrac()*100)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package app is the execution harness: it runs a workload's phase-
+// structured iteration body on a world of simulated MPI ranks, under a
+// pluggable data-placement Manager (the Unimem runtime, the X-Mem baseline,
+// or the static DRAM-only / NVM-only configurations).
+//
+// The harness owns what the "application plus hardware" own in the paper:
+// it allocates the target objects through the manager (unimem_malloc),
+// executes phases by converting ground-truth access descriptors plus
+// current placement into virtual time through the machine model, performs
+// the MPI operations that delimit phases, and hands the manager measured
+// durations and ground-truth traffic at each phase end (from which a
+// manager may derive sampled counter profiles).
+package app
+
+import (
+	"fmt"
+
+	"unimem/internal/counters"
+	"unimem/internal/machine"
+	"unimem/internal/memsys"
+	"unimem/internal/mpisim"
+	"unimem/internal/phase"
+	"unimem/internal/workloads"
+)
+
+// RankCtx bundles the per-rank execution state handed to managers.
+type RankCtx struct {
+	Rank int
+	Mach *machine.Machine
+	Heap *memsys.Heap
+	Comm *mpisim.Comm
+	W    *workloads.Workload
+}
+
+// Manager is a data-placement policy driving one rank's heap. The harness
+// calls it in this order:
+//
+//	Setup (allocate objects) -> LoopStart (unimem_start) ->
+//	{PhaseBegin -> PhaseEnd}* per iteration -> LoopEnd (unimem_end).
+//
+// PhaseBegin may advance the rank's virtual clock (migration stall, queue
+// checks); PhaseEnd receives the measured execution duration and the
+// ground-truth traffic and may also advance the clock (profiling overhead).
+type Manager interface {
+	Name() string
+	Setup(ctx *RankCtx) error
+	LoopStart(ctx *RankCtx)
+	PhaseBegin(ctx *RankCtx, name string, kind phase.Kind, mpiOp string)
+	PhaseEnd(ctx *RankCtx, durNS float64, traffic []counters.ChunkTraffic)
+	LoopEnd(ctx *RankCtx)
+	// RuntimeOverheadNS returns the manager's accumulated "pure runtime
+	// cost" (profiling, modeling, synchronization) for reporting.
+	RuntimeOverheadNS(rank int) float64
+}
+
+// ManagerFactory builds one Manager per rank (managers hold per-rank state).
+type ManagerFactory func(rank int) Manager
+
+// Options configures a run.
+type Options struct {
+	Ranks        int
+	RanksPerNode int // default 1 (the paper's experiments use 1 task/node)
+	// MaterializeCap bounds real backing per chunk (0: memsys default).
+	MaterializeCap int64
+	// ChunkSize overrides the default partition granularity.
+	ChunkSize int64
+	Seed      uint64
+}
+
+func (o *Options) fill(w *workloads.Workload) {
+	if o.Ranks == 0 {
+		o.Ranks = w.Ranks
+	}
+	if o.RanksPerNode == 0 {
+		o.RanksPerNode = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5EED
+	}
+}
+
+// RankResult is one rank's outcome.
+type RankResult struct {
+	Rank       int
+	TimeNS     int64
+	CommNS     int64
+	OverheadNS float64
+	Migrations memsys.MigrationStats
+}
+
+// Result is a whole run's outcome.
+type Result struct {
+	Workload string
+	Manager  string
+	Ranks    []RankResult
+	// TimeNS is the application execution time: the slowest rank.
+	TimeNS int64
+	// PhaseNS is the per-phase average duration across ranks and
+	// iterations (indexed by phase position), for variation studies.
+	PhaseNS []float64
+}
+
+// TotalMigrations sums migration counts across ranks.
+func (r *Result) TotalMigrations() int {
+	n := 0
+	for _, rr := range r.Ranks {
+		n += rr.Migrations.Migrations
+	}
+	return n
+}
+
+// TotalBytesMigrated sums migrated bytes across ranks.
+func (r *Result) TotalBytesMigrated() int64 {
+	var n int64
+	for _, rr := range r.Ranks {
+		n += rr.Migrations.BytesMigrated
+	}
+	return n
+}
+
+// MaxOverheadFrac returns the largest per-rank runtime overhead fraction.
+func (r *Result) MaxOverheadFrac() float64 {
+	var f float64
+	for _, rr := range r.Ranks {
+		if rr.TimeNS > 0 {
+			if g := rr.OverheadNS / float64(rr.TimeNS); g > f {
+				f = g
+			}
+		}
+	}
+	return f
+}
+
+// Run executes the workload on a fresh world under managers built by mf.
+func Run(w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFactory) (*Result, error) {
+	opts.fill(w)
+	world := mpisim.NewWorld(opts.Ranks, m)
+
+	// One DRAM coordination service per node.
+	nNodes := (opts.Ranks + opts.RanksPerNode - 1) / opts.RanksPerNode
+	services := make([]*memsys.NodeService, nNodes)
+	for i := range services {
+		services[i] = memsys.NewNodeService(m.DRAMSpec.CapacityBytes)
+	}
+
+	res := &Result{Workload: w.Name, Manager: "", Ranks: make([]RankResult, opts.Ranks)}
+	res.PhaseNS = make([]float64, len(w.Phases))
+	phaseCount := make([]int64, len(w.Phases))
+	errs := make([]error, opts.Ranks)
+
+	world.Run(func(c *mpisim.Comm) {
+		rank := c.Rank()
+		heap := memsys.NewHeap(m, services[rank/opts.RanksPerNode], memsys.HeapOptions{
+			MaterializeCap:   opts.MaterializeCap,
+			DefaultChunkSize: opts.ChunkSize,
+		})
+		ctx := &RankCtx{Rank: rank, Mach: m, Heap: heap, Comm: c, W: w}
+		mgr := mf(rank)
+		if rank == 0 {
+			res.Manager = mgr.Name()
+		}
+		if err := mgr.Setup(ctx); err != nil {
+			errs[rank] = fmt.Errorf("rank %d setup: %w", rank, err)
+			return
+		}
+		mgr.LoopStart(ctx)
+		for iter := 0; iter < w.Iterations; iter++ {
+			for pi := range w.Phases {
+				ph := &w.Phases[pi]
+				mgr.PhaseBegin(ctx, ph.Name, ph.Kind, ph.Comm.String())
+
+				start := c.Clock()
+				traffic, serviceNS := ExpandTraffic(ctx, ph.Refs(iter))
+				c.Advance(int64(serviceNS))
+				execComm(c, ph)
+				c.Advance(int64(m.ComputeTimeNS(ph.Flops)))
+				dur := float64(c.Clock() - start)
+
+				if rank == 0 {
+					res.PhaseNS[pi] += dur
+					phaseCount[pi]++
+				}
+				mgr.PhaseEnd(ctx, dur, traffic)
+			}
+		}
+		mgr.LoopEnd(ctx)
+		res.Ranks[rank] = RankResult{
+			Rank:       rank,
+			TimeNS:     c.Clock(),
+			CommNS:     c.CommNS,
+			OverheadNS: mgr.RuntimeOverheadNS(rank),
+			Migrations: heap.StatsSnapshot(),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, rr := range res.Ranks {
+		if rr.TimeNS > res.TimeNS {
+			res.TimeNS = rr.TimeNS
+		}
+	}
+	for pi := range res.PhaseNS {
+		if phaseCount[pi] > 0 {
+			res.PhaseNS[pi] /= float64(phaseCount[pi])
+		}
+	}
+	return res, nil
+}
+
+// execComm performs the phase's MPI operation on the rank's communicator.
+func execComm(c *mpisim.Comm, ph *workloads.Phase) {
+	switch ph.Comm {
+	case workloads.CommNone:
+	case workloads.CommAllreduce:
+		c.Allreduce(ph.CommBytes)
+	case workloads.CommHalo:
+		p := c.Size()
+		right := (c.Rank() + 1) % p
+		left := (c.Rank() - 1 + p) % p
+		c.SendRecv(right, left, 7001, ph.CommBytes, nil)
+		c.SendRecv(left, right, 7002, ph.CommBytes, nil)
+	case workloads.CommAlltoall:
+		c.Alltoall(ph.CommBytes)
+	case workloads.CommBcast:
+		c.Bcast(ph.CommBytes)
+	case workloads.CommBarrier:
+		c.Barrier()
+	case workloads.CommWaitHalo:
+		// Model the completion wait of a previously posted non-blocking
+		// exchange as a synchronizing halo of the same size.
+		p := c.Size()
+		right := (c.Rank() + 1) % p
+		left := (c.Rank() - 1 + p) % p
+		reqOut := c.Isend(right, 7003, ph.CommBytes, nil)
+		reqIn := c.Irecv(left, 7003)
+		reqOut.Wait()
+		reqIn.Wait()
+	}
+}
+
+// ExpandTraffic converts a phase's per-object access descriptors into
+// per-chunk ground-truth traffic under the heap's current placement, and
+// returns the total memory service time. Accesses distribute across an
+// object's chunks proportionally to chunk size (uniform within the object,
+// which is the paper's assumption when it partitions 1-D arrays with
+// regular references).
+func ExpandTraffic(ctx *RankCtx, refs []phase.Ref) ([]counters.ChunkTraffic, float64) {
+	var out []counters.ChunkTraffic
+	var totalNS float64
+	for _, r := range refs {
+		obj := ctx.Heap.Lookup(r.Object)
+		if obj == nil {
+			panic(fmt.Sprintf("app: phase references unknown object %q", r.Object))
+		}
+		for _, ch := range obj.Chunks {
+			acc := r.Accesses
+			if len(obj.Chunks) > 1 {
+				acc = int64(float64(r.Accesses) * float64(ch.Size) / float64(obj.Size))
+			}
+			if acc <= 0 {
+				continue
+			}
+			tier := ctx.Heap.TierOf(ch)
+			svc := ctx.Mach.MemTimeNS(tier, acc, r.Pattern, r.ReadFrac)
+			totalNS += svc
+			out = append(out, counters.ChunkTraffic{
+				Chunk:      ch.Name(),
+				Object:     obj.Name,
+				ChunkIndex: ch.Index,
+				Accesses:   acc,
+				ServiceNS:  svc,
+				ReadFrac:   r.ReadFrac,
+				Pattern:    r.Pattern,
+			})
+		}
+	}
+	return out, totalNS
+}

@@ -1,0 +1,49 @@
+package app_test
+
+import (
+	"testing"
+
+	"unimem/internal/app"
+	"unimem/internal/core"
+	"unimem/internal/machine"
+	"unimem/internal/workloads"
+)
+
+// TestSmokeCG runs CG under DRAM-only, NVM-only and Unimem and checks the
+// fundamental ordering the whole evaluation rests on:
+// DRAM-only <= Unimem < NVM-only, with Unimem close to DRAM-only.
+func TestSmokeCG(t *testing.T) {
+	w := workloads.NewCG("C", 4)
+	base := machine.PlatformA()
+	nvmMach := base.WithNVMBandwidthFraction(0.5)
+
+	dram, err := app.Run(w, base, app.Options{}, app.NewStaticFactory("dram-only", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvm, err := app.Run(w, nvmMach, app.Options{}, app.NewStaticFactory("nvm-only", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := app.Run(w, nvmMach, app.Options{}, core.Factory(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, n, u := float64(dram.TimeNS), float64(nvm.TimeNS), float64(uni.TimeNS)
+	t.Logf("CG: dram=%.1fms nvm=%.1fms (%.2fx) unimem=%.1fms (%.2fx) migrations=%d bytes=%dMB",
+		d/1e6, n/1e6, n/d, u/1e6, u/d, uni.TotalMigrations(), uni.TotalBytesMigrated()>>20)
+
+	if n <= d {
+		t.Fatalf("NVM-only (%v) should be slower than DRAM-only (%v)", n, d)
+	}
+	if u >= n {
+		t.Errorf("Unimem (%v) should beat NVM-only (%v)", u, n)
+	}
+	if u > d*1.15 {
+		t.Errorf("Unimem (%v) should be within 15%% of DRAM-only (%v); got %.2fx", u, d, u/d)
+	}
+	if uni.TotalMigrations() == 0 {
+		t.Error("Unimem should have migrated something")
+	}
+}

@@ -1,0 +1,108 @@
+package app
+
+import (
+	"unimem/internal/counters"
+	"unimem/internal/machine"
+	"unimem/internal/memsys"
+	"unimem/internal/phase"
+)
+
+// Static is a placement manager with a fixed policy decided at allocation
+// time and no runtime activity: it models DRAM-only and NVM-only systems
+// (under machines whose tiers are configured accordingly) and the paper's
+// Fig. 4 experiments that pin a chosen object in DRAM.
+type Static struct {
+	name string
+	// inDRAM decides the initial (and permanent) tier per object name.
+	inDRAM func(object string) bool
+}
+
+// NewStaticFactory returns a factory of Static managers. inDRAM may be nil,
+// meaning everything goes to NVM.
+func NewStaticFactory(name string, inDRAM func(object string) bool) ManagerFactory {
+	return func(rank int) Manager {
+		return &Static{name: name, inDRAM: inDRAM}
+	}
+}
+
+// Name implements Manager.
+func (s *Static) Name() string { return s.name }
+
+// Setup implements Manager: allocates every target object in its fixed tier.
+func (s *Static) Setup(ctx *RankCtx) error {
+	for _, os := range ctx.W.Objects {
+		tier := machine.NVM
+		if s.inDRAM != nil && s.inDRAM(os.Name) {
+			tier = machine.DRAM
+		}
+		if _, err := ctx.Heap.Alloc(os.Name, os.Size, memsys.AllocOptions{
+			InitialTier: tier,
+			RefHint:     os.RefHint,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoopStart implements Manager (no-op).
+func (s *Static) LoopStart(*RankCtx) {}
+
+// PhaseBegin implements Manager (no-op).
+func (s *Static) PhaseBegin(*RankCtx, string, phase.Kind, string) {}
+
+// PhaseEnd implements Manager (no-op).
+func (s *Static) PhaseEnd(*RankCtx, float64, []counters.ChunkTraffic) {}
+
+// LoopEnd implements Manager (no-op).
+func (s *Static) LoopEnd(*RankCtx) {}
+
+// RuntimeOverheadNS implements Manager: a static policy costs nothing.
+func (s *Static) RuntimeOverheadNS(int) float64 { return 0 }
+
+// RecordedPhase is the exact (unsampled) traffic of one phase execution,
+// as an offline whole-program instrumentation pass like X-Mem's PIN tool
+// would capture it.
+type RecordedPhase struct {
+	Name    string
+	DurNS   float64
+	Traffic []counters.ChunkTraffic
+}
+
+// RecordedProfile is one rank's offline profile: the phases of the first
+// iteration in order.
+type RecordedProfile struct {
+	Phases []RecordedPhase
+}
+
+// Recorder is a manager that places everything in NVM and records the
+// first iteration's exact traffic; the X-Mem baseline builds its static
+// placement from such profiles.
+type Recorder struct {
+	Static
+	out     *RecordedProfile
+	nPhases int
+	seen    int
+}
+
+// NewRecorderFactory returns a factory whose managers write each rank's
+// profile into profiles[rank].
+func NewRecorderFactory(profiles []*RecordedProfile) ManagerFactory {
+	return func(rank int) Manager {
+		return &Recorder{Static: Static{name: "recorder"}, out: profiles[rank]}
+	}
+}
+
+// PhaseEnd implements Manager: records first-iteration traffic verbatim.
+func (r *Recorder) PhaseEnd(ctx *RankCtx, durNS float64, traffic []counters.ChunkTraffic) {
+	if r.seen < len(ctx.W.Phases) {
+		cp := make([]counters.ChunkTraffic, len(traffic))
+		copy(cp, traffic)
+		r.out.Phases = append(r.out.Phases, RecordedPhase{
+			Name:    ctx.W.Phases[r.seen].Name,
+			DurNS:   durNS,
+			Traffic: cp,
+		})
+		r.seen++
+	}
+}

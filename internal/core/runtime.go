@@ -1,0 +1,511 @@
+// Package core implements the Unimem runtime — the paper's primary
+// contribution. One Runtime instance manages one MPI rank's data placement
+// through the workflow of §3.1 (Fig. 8):
+//
+//  1. Phase profiling: during the first iteration of the main computation
+//     loop, sampled performance counters capture per-object main-memory
+//     traffic for every phase (package counters).
+//  2. Performance modeling: at the end of the first iteration, Eq. 1-4
+//     classify each object's sensitivity and price the benefit and cost of
+//     moving it (package model).
+//  3. Placement decision and enforcement: a 0-1 knapsack per phase, solved
+//     by phase-local and cross-phase global search, picks the DRAM-resident
+//     sets (package placement); from the second iteration a helper thread
+//     proactively migrates objects ahead of the phases that need them
+//     (package mover).
+//
+// The optimizations of §3.2 are all present and individually switchable
+// for the Fig. 11 ablation: initial data placement from static reference
+// hints, large-object partitioning, the local/global search pair, and the
+// >10% variation monitor that triggers re-profiling.
+package core
+
+import (
+	"sort"
+
+	"unimem/internal/app"
+	"unimem/internal/counters"
+	"unimem/internal/machine"
+	"unimem/internal/memsys"
+	"unimem/internal/model"
+	"unimem/internal/mover"
+	"unimem/internal/phase"
+	"unimem/internal/placement"
+)
+
+// Config selects Unimem features and model parameters.
+type Config struct {
+	// EnableGlobal/EnableLocal enable the two placement searches.
+	EnableGlobal bool
+	EnableLocal  bool
+	// EnablePartition enables large-object chunking (§3.2).
+	EnablePartition bool
+	// EnableInitial enables static-hint initial data placement (§3.2).
+	EnableInitial bool
+
+	// Counters configures the emulated sampling infrastructure.
+	Counters counters.Config
+	// Calibration carries the platform's one-time CF/BW_peak measurement;
+	// zero value means "calibrate lazily at Init" (the paper computes it
+	// once per platform and reuses it).
+	Calibration model.Calibration
+
+	// VariationThreshold is the re-profiling trigger (paper: 0.10).
+	VariationThreshold float64
+	// PartitionMinBytes: objects at least this large are chunked when
+	// partitionable; 0 means 90% of DRAM capacity (an object that almost
+	// fills or exceeds DRAM cannot usefully move whole).
+	PartitionMinBytes int64
+	// ChunkSize is the partition granularity (0: memsys default, 32 MiB).
+	ChunkSize int64
+	// AmortizeIters spreads adoption cost in the global search score.
+	AmortizeIters int
+	// Seed derives all per-rank sampling streams.
+	Seed uint64
+
+	// Ablation knobs for the model refinements this reproduction adds on
+	// top of the paper's formulas (see EXPERIMENTS.md "Reproduction
+	// notes"); all default off, i.e. refinements active.
+	LiteralEq3     bool // price Eq. 3 without the MLP correction
+	NaivePredictor bool // score plans without the helper-thread timeline
+	NoHysteresis   bool // drop the local search's recurrence charge
+}
+
+// DefaultConfig returns the full Unimem configuration (all techniques on).
+func DefaultConfig() Config {
+	return Config{
+		EnableGlobal:       true,
+		EnableLocal:        true,
+		EnablePartition:    true,
+		EnableInitial:      true,
+		Counters:           counters.Default(),
+		VariationThreshold: 0.10,
+		AmortizeIters:      10,
+		Seed:               0x0C0FFEE,
+	}
+}
+
+// Runtime is the per-rank Unimem instance, implementing app.Manager. The
+// paper's Table 2 API maps onto the Manager lifecycle: Setup performs
+// unimem_init and the unimem_malloc calls, LoopStart/LoopEnd are
+// unimem_start/unimem_end, and heap teardown (unimem_free) happens when
+// the harness drops the heap.
+type Runtime struct {
+	cfg  Config
+	rank int
+
+	mach    *machine.Machine
+	heap    *memsys.Heap
+	sampler *counters.Sampler
+	mov     *mover.Mover
+	reg     *phase.Registry
+	mcfg    model.Config
+
+	profiling bool
+	// reprofileNext schedules a full-iteration re-profile (variation >10%).
+	reprofileNext bool
+
+	plan *placement.Plan
+	// pendingSeq[phase index] is the latest mover ticket that must complete
+	// before that phase executes.
+	pendingSeq map[int]uint64
+	// oneShot holds adoption migrations deferred to their dependence-
+	// derived trigger phases (so they overlap like scheduled moves do);
+	// drained the first time each trigger phase begins.
+	oneShot map[int][]placement.Move
+	// decisionIter is the completed-iteration count when the latest
+	// decision was taken; the variation monitor stays quiet for two
+	// iterations afterwards while migrations settle and the baseline
+	// re-forms.
+	decisionIter int
+
+	chunkByName map[string]*memsys.Chunk
+	chunkSize   map[string]int64
+
+	overheadNS float64
+	// Decisions counts placement decisions taken (1 + re-profiles).
+	Decisions int
+	// Candidates holds every plan the latest decision considered (for
+	// inspection tooling).
+	Candidates []*placement.Plan
+	// explicitDeps holds programmer-declared cross-phase dependences
+	// (directive API, §3.3): chunk -> extra phase IDs that reference it.
+	explicitDeps map[string][]int
+}
+
+// NewRuntime returns a Unimem runtime for one rank.
+func NewRuntime(rank int, cfg Config) *Runtime {
+	if cfg.VariationThreshold == 0 {
+		cfg.VariationThreshold = 0.10
+	}
+	if cfg.AmortizeIters == 0 {
+		cfg.AmortizeIters = 10
+	}
+	return &Runtime{
+		cfg:          cfg,
+		rank:         rank,
+		pendingSeq:   make(map[int]uint64),
+		oneShot:      make(map[int][]placement.Move),
+		chunkByName:  make(map[string]*memsys.Chunk),
+		chunkSize:    make(map[string]int64),
+		explicitDeps: make(map[string][]int),
+	}
+}
+
+// Factory adapts NewRuntime to app.ManagerFactory.
+func Factory(cfg Config) app.ManagerFactory {
+	return func(rank int) app.Manager { return NewRuntime(rank, cfg) }
+}
+
+// Name implements app.Manager.
+func (r *Runtime) Name() string { return "unimem" }
+
+// Rank returns the MPI rank this runtime instance manages.
+func (r *Runtime) Rank() int { return r.rank }
+
+// DRAMResidents returns the names of chunks currently resident in DRAM,
+// sorted; an introspection hook for tooling and tests.
+func (r *Runtime) DRAMResidents() []string {
+	var out []string
+	for name, in := range r.heap.ResidencySnapshot() {
+		if in {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Plan exposes the current placement plan (nil before the first decision);
+// used by the inspection tooling and tests.
+func (r *Runtime) Plan() *placement.Plan { return r.plan }
+
+// MoverStats exposes the helper thread's accounting.
+func (r *Runtime) MoverStats() mover.Stats { return r.mov.Stats() }
+
+// DeclareDep records a programmer directive that chunk is referenced by the
+// given phase ID even though profiling may not observe it (the paper's
+// directive-based dependency escape hatch). It conservatively shrinks
+// overlap windows for that chunk.
+func (r *Runtime) DeclareDep(chunk string, phaseID int) {
+	r.explicitDeps[chunk] = append(r.explicitDeps[chunk], phaseID)
+}
+
+// Setup implements app.Manager: unimem_init + the unimem_malloc calls,
+// applying the partitioning rule and initial data placement.
+func (r *Runtime) Setup(ctx *app.RankCtx) error {
+	r.mach = ctx.Mach
+	r.heap = ctx.Heap
+	r.sampler = counters.NewSampler(ctx.Mach, r.cfg.Counters, r.cfg.Seed^uint64(r.rank)*0x9E37)
+	r.mov = mover.New(ctx.Heap)
+	r.mov.Start()
+	r.reg = phase.NewRegistry()
+
+	if r.cfg.Calibration == (model.Calibration{}) {
+		r.cfg.Calibration = model.Calibrate(ctx.Mach, r.cfg.Counters, r.cfg.Seed^0xCA11B)
+	}
+	r.mcfg = model.DefaultThresholds()
+	r.mcfg.Apply(r.cfg.Calibration)
+	r.mcfg.LiteralEq3 = r.cfg.LiteralEq3
+
+	dramCap := ctx.Mach.DRAMSpec.CapacityBytes
+	partitionMin := r.cfg.PartitionMinBytes
+	if partitionMin == 0 {
+		partitionMin = dramCap * 9 / 10
+	}
+
+	// Initial data placement (§3.2): rank objects by their static
+	// reference-count hint and fill DRAM greedily. Objects without a hint
+	// (count unknown before the loop) stay in NVM.
+	initialDRAM := make(map[string]bool)
+	if r.cfg.EnableInitial {
+		order := make([]int, 0, len(ctx.W.Objects))
+		for i, o := range ctx.W.Objects {
+			if o.RefHint > 0 {
+				order = append(order, i)
+			}
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return ctx.W.Objects[order[a]].RefHint > ctx.W.Objects[order[b]].RefHint
+		})
+		remaining := dramCap
+		for _, i := range order {
+			o := ctx.W.Objects[i]
+			if o.Size <= remaining {
+				initialDRAM[o.Name] = true
+				remaining -= o.Size
+			}
+		}
+	}
+
+	for _, os := range ctx.W.Objects {
+		opts := memsys.AllocOptions{
+			InitialTier: machine.NVM,
+			RefHint:     os.RefHint,
+		}
+		if initialDRAM[os.Name] {
+			opts.InitialTier = machine.DRAM
+		}
+		if r.cfg.EnablePartition && os.Partitionable && os.Size >= partitionMin {
+			opts.Partitionable = true
+			opts.ChunkSize = r.cfg.ChunkSize
+		}
+		obj, err := ctx.Heap.Alloc(os.Name, os.Size, opts)
+		if err != nil {
+			return err
+		}
+		for _, c := range obj.Chunks {
+			r.chunkByName[c.Name()] = c
+			r.chunkSize[c.Name()] = c.Size
+		}
+	}
+	return nil
+}
+
+// LoopStart implements app.Manager: unimem_start — begin profiling the
+// first iteration of the main computation loop.
+func (r *Runtime) LoopStart(ctx *app.RankCtx) {
+	r.sampler.Enable()
+	r.profiling = true
+}
+
+// PhaseBegin implements app.Manager: identify the phase (PMPI counter),
+// take placement decisions at iteration boundaries, enqueue scheduled
+// proactive migrations, and synchronize with the helper thread for moves
+// this phase depends on.
+func (r *Runtime) PhaseBegin(ctx *app.RankCtx, name string, kind phase.Kind, mpiOp string) {
+	p, newIter := r.reg.Begin(name, kind, mpiOp)
+
+	if newIter && r.reg.Sealed() {
+		if r.profiling {
+			// A full profiled iteration just completed (the first, or a
+			// re-profile): model and decide.
+			r.decide(ctx)
+		} else if r.reprofileNext {
+			r.reprofileNext = false
+			r.sampler.Enable()
+			r.profiling = true
+		}
+	}
+
+	if r.plan != nil && !r.profilingBlocksEnforcement() {
+		r.enforceAt(ctx, p.ID)
+	}
+
+	// Queue-status check at the beginning of each phase (§3.3).
+	if seq := r.pendingSeq[p.ID]; seq > 0 || r.plan != nil {
+		stall := r.mov.Sync(seq, ctx.Comm.Clock())
+		delete(r.pendingSeq, p.ID)
+		ctx.Comm.Advance(stall + mover.SyncCheckNS)
+		r.overheadNS += mover.SyncCheckNS
+	}
+}
+
+// profilingBlocksEnforcement reports whether enforcement should pause.
+// Re-profiling runs concurrently with the existing plan (the paper keeps
+// serving the old decision while collecting a fresh profile), so it never
+// blocks; only the very first profile (no plan yet) executes unenforced.
+func (r *Runtime) profilingBlocksEnforcement() bool { return r.plan == nil }
+
+// enforceAt enqueues every scheduled move triggered at phase pid (plus any
+// pending one-shot adoption moves), skipping chunks already in their
+// desired tier.
+func (r *Runtime) enforceAt(ctx *app.RankCtx, pid int) {
+	if moves := r.oneShot[pid]; len(moves) > 0 {
+		delete(r.oneShot, pid)
+		for _, mv := range moves {
+			r.enqueueMove(ctx, mv)
+		}
+	}
+	for _, mv := range r.plan.Schedule {
+		if mv.TriggerPhase != pid {
+			continue
+		}
+		r.enqueueMove(ctx, mv)
+	}
+}
+
+func (r *Runtime) enqueueMove(ctx *app.RankCtx, mv placement.Move) {
+	c := r.chunkByName[mv.Chunk]
+	if c == nil {
+		return
+	}
+	want := machine.NVM
+	if mv.ToDRAM {
+		want = machine.DRAM
+	}
+	if r.heap.TierOf(c) == want {
+		return
+	}
+	seq := r.mov.Enqueue(c, want, ctx.Comm.Clock())
+	if mv.ToDRAM {
+		if seq > r.pendingSeq[mv.TargetPhase] {
+			r.pendingSeq[mv.TargetPhase] = seq
+		}
+	}
+}
+
+// PhaseEnd implements app.Manager: close the phase, sample its profile
+// while profiling, and run the variation monitor afterwards.
+func (r *Runtime) PhaseEnd(ctx *app.RankCtx, durNS float64, traffic []counters.ChunkTraffic) {
+	p := r.reg.End(durNS)
+	if r.profiling {
+		ps := r.sampler.Sample(durNS, traffic)
+		p.SetProfile(ps)
+		ctx.Comm.Advance(int64(ps.OverheadNS))
+		r.overheadNS += ps.OverheadNS
+		return
+	}
+	// Variation monitor (§3.2): compare against the post-decision baseline.
+	// Only computation phases are monitored — a communication phase's
+	// duration is dominated by synchronization waits on other ranks, which
+	// shift whenever any rank migrates and would trigger spurious
+	// re-profiling. For two iterations after a decision the baseline keeps
+	// re-forming: the plan's own migrations change phase durations, and
+	// reacting to that would loop profiling forever.
+	if p.Kind == phase.Comm {
+		return
+	}
+	if r.reg.Iter() <= r.decisionIter+1 || p.DecisionNS == 0 {
+		p.DecisionNS = durNS
+		return
+	}
+	rel := (durNS - p.DecisionNS) / p.DecisionNS
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > r.cfg.VariationThreshold && !r.reprofileNext {
+		r.reprofileNext = true
+	}
+}
+
+// decide runs step 2 and 3 of the workflow: build model estimates from the
+// profiled iteration, search placements, adopt the best plan, and enqueue
+// adoption migrations.
+func (r *Runtime) decide(ctx *app.RankCtx) {
+	r.sampler.Disable()
+	r.profiling = false
+	r.Decisions++
+
+	phases := r.reg.Phases()
+	in := &placement.Input{
+		DRAMCapacity:   ctx.Mach.DRAMSpec.CapacityBytes,
+		ChunkSize:      r.chunkSize,
+		Phases:         make([]placement.PhaseData, len(phases)),
+		Resident:       r.heap.ResidencySnapshot(),
+		CopyTimeNS:     ctx.Mach.CopyTimeNS,
+		OverlapNS:      r.overlapNS,
+		TriggerPhase:   r.triggerPhase,
+		References:     r.references,
+		AmortizeIters:  r.cfg.AmortizeIters,
+		NaivePredictor: r.cfg.NaivePredictor,
+		NoHysteresis:   r.cfg.NoHysteresis,
+	}
+	var modelOps int
+	for i, p := range phases {
+		pd := placement.PhaseData{DurNS: p.ProfiledNS, Benefit: make(map[string]float64)}
+		if p.Profile != nil {
+			for _, s := range p.Profile.Objects {
+				tier := machine.NVM
+				if c := r.chunkByName[s.Chunk]; c != nil {
+					tier = r.heap.TierOf(c)
+				}
+				est := r.mcfg.EstimateChunk(ctx.Mach, s, p.Profile, tier)
+				if est.BenefitNS > 0 {
+					pd.Benefit[s.Chunk] += est.BenefitNS
+				}
+				modelOps++
+			}
+		}
+		in.Phases[i] = pd
+	}
+	// A new decision supersedes any not-yet-triggered adoption moves from
+	// the previous one; stale deferred moves would drag outdated chunks
+	// back into DRAM.
+	r.oneShot = make(map[int][]placement.Move)
+	r.plan, r.Candidates = placement.DecideAll(in, r.cfg.EnableLocal, r.cfg.EnableGlobal)
+
+	// Modeling cost: estimates plus the knapsack DP cells, charged to the
+	// critical path (part of "pure runtime cost").
+	capUnits := int(ctx.Mach.DRAMSpec.CapacityBytes >> 20)
+	modelNS := float64(modelOps)*200 + float64(capUnits*len(r.chunkSize))*20
+	ctx.Comm.Advance(int64(modelNS))
+	r.overheadNS += modelNS
+
+	// Rebaseline the variation monitor: durations will shift under the new
+	// placement.
+	r.decisionIter = r.reg.Iter()
+	for _, p := range phases {
+		p.DecisionNS = 0
+	}
+
+	// Adoption: evictions go to the helper thread immediately (freeing
+	// DRAM early is always safe); insertions are deferred to their
+	// dependence-derived trigger phases so the copies overlap with the
+	// enforcing iteration's execution (Fig. 5), arriving in time for the
+	// first referencing phase of the iteration after.
+	for _, mv := range r.plan.Adoption {
+		if !mv.ToDRAM {
+			r.enqueueMove(ctx, mv)
+			continue
+		}
+		target := r.firstReferencing(mv.Chunk)
+		trigger := r.reg.TriggerPhase(mv.Chunk, target)
+		r.oneShot[trigger] = append(r.oneShot[trigger], placement.Move{
+			Chunk: mv.Chunk, ToDRAM: true,
+			TriggerPhase: trigger, TargetPhase: target,
+		})
+	}
+}
+
+// firstReferencing returns the first phase (iteration order) whose profile
+// references the chunk, defaulting to 0.
+func (r *Runtime) firstReferencing(chunk string) int {
+	for _, p := range r.reg.Phases() {
+		if p.References(chunk) {
+			return p.ID
+		}
+	}
+	return 0
+}
+
+// overlapNS is the registry window shrunk by explicit dependence
+// directives.
+func (r *Runtime) overlapNS(chunk string, target int) float64 {
+	w := r.reg.OverlapWindowNS(chunk, target)
+	if len(r.explicitDeps[chunk]) > 0 {
+		// Conservative: any declared dependence halves the usable window.
+		w /= 2
+	}
+	return w
+}
+
+func (r *Runtime) triggerPhase(chunk string, target int) int {
+	return r.reg.TriggerPhase(chunk, target)
+}
+
+// references exposes the registry's profiled reference map (plus explicit
+// directives) to the placement searches.
+func (r *Runtime) references(chunk string, phaseID int) bool {
+	phases := r.reg.Phases()
+	if phaseID < 0 || phaseID >= len(phases) {
+		return false
+	}
+	if phases[phaseID].References(chunk) {
+		return true
+	}
+	for _, pid := range r.explicitDeps[chunk] {
+		if pid == phaseID {
+			return true
+		}
+	}
+	return false
+}
+
+// LoopEnd implements app.Manager: unimem_end — stop the helper thread.
+func (r *Runtime) LoopEnd(ctx *app.RankCtx) {
+	r.mov.Stop()
+}
+
+// RuntimeOverheadNS implements app.Manager.
+func (r *Runtime) RuntimeOverheadNS(int) float64 { return r.overheadNS }

@@ -1,0 +1,144 @@
+package counters
+
+import (
+	"math"
+	"testing"
+
+	"unimem/internal/machine"
+)
+
+func sampler(seed uint64) *Sampler {
+	s := NewSampler(machine.PlatformA(), Default(), seed)
+	s.Enable()
+	return s
+}
+
+func traffic(acc int64, svcNS float64) []ChunkTraffic {
+	return []ChunkTraffic{{
+		Chunk: "o", Object: "o", Accesses: acc, ServiceNS: svcNS,
+		ReadFrac: 0.8, Pattern: machine.Stream,
+	}}
+}
+
+func TestDisabledSamplerReturnsNil(t *testing.T) {
+	s := NewSampler(machine.PlatformA(), Default(), 1)
+	if s.Sample(1e6, traffic(1000, 5e5)) != nil {
+		t.Fatal("disabled sampler must not profile")
+	}
+	s.Enable()
+	if s.Sample(1e6, traffic(1000, 5e5)) == nil {
+		t.Fatal("enabled sampler must profile")
+	}
+	s.Disable()
+	if s.Enabled() {
+		t.Fatal("Disable did not stick")
+	}
+}
+
+func TestSampleUndercounts(t *testing.T) {
+	s := sampler(2)
+	const acc = 1 << 20
+	ps := s.Sample(1e7, traffic(acc, 5e6))
+	got := ps.Objects[0].SampledAccesses
+	// Capture ratio 0.80 with 3% jitter: expect within [0.7, 0.92].
+	ratio := float64(got) / acc
+	if ratio < 0.70 || ratio > 0.92 {
+		t.Fatalf("sampled/true = %v, want ~0.80", ratio)
+	}
+	if got >= acc {
+		t.Fatal("sampling must undercount (prefetch/eviction blindness)")
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	s := sampler(3)
+	ps := s.Sample(1e7, traffic(1<<20, 2.5e6)) // object busy 25% of phase
+	o := ps.Objects[0]
+	frac := float64(o.BusySamples) / float64(ps.TotalSamples)
+	if math.Abs(frac-0.25) > 0.05 {
+		t.Fatalf("busy fraction %v, want ~0.25", frac)
+	}
+}
+
+func TestTotalSamplesMatchPeriod(t *testing.T) {
+	m := machine.PlatformA()
+	s := sampler(4)
+	durNS := 1e7
+	ps := s.Sample(durNS, nil)
+	want := int64(durNS / m.SamplePeriodNS())
+	if ps.TotalSamples != want {
+		t.Fatalf("samples = %d, want %d", ps.TotalSamples, want)
+	}
+	// 1000 cycles at 2.4GHz ~ 417ns.
+	if math.Abs(m.SamplePeriodNS()-416.67) > 1 {
+		t.Fatalf("sample period %v ns", m.SamplePeriodNS())
+	}
+}
+
+func TestOverheadCharged(t *testing.T) {
+	s := sampler(5)
+	ps := s.Sample(1e7, nil)
+	if ps.OverheadNS <= 0 || ps.OverheadNS > 1e7 {
+		t.Fatalf("overhead %v", ps.OverheadNS)
+	}
+	want := 1e7 * Default().OverheadFrac
+	if math.Abs(ps.OverheadNS-want) > 1 {
+		t.Fatalf("overhead %v, want %v", ps.OverheadNS, want)
+	}
+}
+
+func TestZeroTrafficSkipped(t *testing.T) {
+	s := sampler(6)
+	ps := s.Sample(1e6, []ChunkTraffic{{Chunk: "z", Accesses: 0}})
+	if len(ps.Objects) != 0 {
+		t.Fatal("zero-access chunks must not appear in the profile")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := sampler(42)
+	b := sampler(42)
+	pa := a.Sample(1e7, traffic(1<<20, 5e6))
+	pb := b.Sample(1e7, traffic(1<<20, 5e6))
+	if pa.Objects[0].SampledAccesses != pb.Objects[0].SampledAccesses ||
+		pa.Objects[0].BusySamples != pb.Objects[0].BusySamples {
+		t.Fatal("same seed must reproduce identical profiles")
+	}
+	c := sampler(43)
+	pc := c.Sample(1e7, traffic(1<<20, 5e6))
+	if pc.Objects[0].SampledAccesses == pa.Objects[0].SampledAccesses {
+		t.Fatal("different seeds should jitter differently")
+	}
+}
+
+func TestBusyNeverExceedsTotal(t *testing.T) {
+	s := sampler(7)
+	// Service time longer than the phase (overlapped traffic): busy
+	// fraction must clamp at 1.
+	ps := s.Sample(1e6, traffic(1<<20, 5e6))
+	o := ps.Objects[0]
+	if o.BusySamples > ps.TotalSamples {
+		t.Fatalf("busy %d > total %d", o.BusySamples, ps.TotalSamples)
+	}
+}
+
+func TestConfigFillDefaults(t *testing.T) {
+	var c Config
+	c.fill()
+	if c.CaptureRatio != 0.80 || c.JitterSigma != 0.03 || c.OverheadFrac != 0.35 {
+		t.Fatalf("filled config %+v", c)
+	}
+}
+
+func TestMetadataPropagated(t *testing.T) {
+	s := sampler(8)
+	ps := s.Sample(1e6, []ChunkTraffic{{
+		Chunk: "a[3]", Object: "a", ChunkIndex: 3,
+		Accesses: 1000, ServiceNS: 1e5, ReadFrac: 0.6, Pattern: machine.Random,
+	}})
+	o := ps.Objects[0]
+	if o.Chunk != "a[3]" || o.Object != "a" || o.ChunkIndex != 3 ||
+		o.ReadFrac != 0.6 || o.Pattern != machine.Random {
+		t.Fatalf("metadata lost: %+v", o)
+	}
+}

@@ -1,0 +1,319 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickSuite runs experiments at reduced iteration counts.
+func quickSuite() *Suite {
+	s := NewSuite()
+	s.Quick = true
+	return s
+}
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[row][col], "%"), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) %q: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	order, reg := Registry()
+	if len(order) != len(reg) {
+		t.Fatalf("order %d entries, registry %d", len(order), len(reg))
+	}
+	for _, id := range order {
+		if reg[id] == nil {
+			t.Fatalf("experiment %q missing", id)
+		}
+	}
+	// Every paper artifact is covered.
+	for _, id := range []string{"table1", "table3", "table4", "fig2", "fig3",
+		"fig4", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+		if reg[id] == nil {
+			t.Errorf("paper artifact %s has no runner", id)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl, err := quickSuite().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 || tbl.Rows[0][0] != "DRAM" {
+		t.Fatalf("table1 rows %v", tbl.Rows)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	tbl, err := quickSuite().Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("table3 has %d rows, want 7 benchmarks", len(tbl.Rows))
+	}
+}
+
+func TestCalib(t *testing.T) {
+	tbl, err := quickSuite().Calib()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		cf, _ := strconv.ParseFloat(row[1], 64)
+		if cf < 1.0 || cf > 1.6 {
+			t.Errorf("%s: CF_bw %v out of plausible range", row[0], cf)
+		}
+	}
+}
+
+// TestFig9Shape is the headline regression: the ordering
+// DRAM-only <= Unimem <= NVM-only must hold per benchmark, and Unimem must
+// stay within the paper's "16% at most" envelope of DRAM-only.
+func TestFig9Shape(t *testing.T) {
+	tbl, err := quickSuite().Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		name := tbl.Rows[r][0]
+		nvm, uni := cell(t, tbl, r, 2), cell(t, tbl, r, 4)
+		if nvm < 1.0 {
+			t.Errorf("%s: NVM-only %v beats DRAM-only", name, nvm)
+		}
+		if uni > nvm+0.01 {
+			t.Errorf("%s: Unimem %v worse than NVM-only %v", name, uni, nvm)
+		}
+		if uni > 1.20 {
+			t.Errorf("%s: Unimem %v further than 20%% from DRAM-only", name, uni)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tbl, err := quickSuite().Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(tbl.Rows) - 1 // avg row
+	nvm, uni := cell(t, tbl, last, 2), cell(t, tbl, last, 4)
+	if nvm < 1.3 {
+		t.Errorf("avg NVM-only gap %v too small for 4x latency", nvm)
+	}
+	if uni > 1.30 {
+		t.Errorf("avg Unimem %v; paper closes the latency gap to ~7%%", uni)
+	}
+}
+
+func TestFig2MonotoneInBandwidth(t *testing.T) {
+	tbl, err := quickSuite().Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		half, quarter, eighth := cell(t, tbl, r, 1), cell(t, tbl, r, 2), cell(t, tbl, r, 3)
+		if !(half <= quarter && quarter <= eighth) {
+			t.Errorf("%s: slowdown not monotone in bandwidth: %v %v %v",
+				tbl.Rows[r][0], half, quarter, eighth)
+		}
+		if half < 1.0 {
+			t.Errorf("%s: NVM faster than DRAM?", tbl.Rows[r][0])
+		}
+	}
+}
+
+func TestFig3MonotoneInLatency(t *testing.T) {
+	tbl, err := quickSuite().Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		x2, x4, x8 := cell(t, tbl, r, 1), cell(t, tbl, r, 2), cell(t, tbl, r, 3)
+		if !(x2 <= x4 && x4 <= x8) {
+			t.Errorf("%s: slowdown not monotone in latency", tbl.Rows[r][0])
+		}
+	}
+}
+
+// TestFig4Sensitivity checks the paper's Observation 3: buffers are
+// bandwidth- but not latency-sensitive; lhs the reverse.
+func TestFig4Sensitivity(t *testing.T) {
+	tbl, err := quickSuite().Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < len(tbl.Rows); r += 2 {
+		halfRow, latRow := r, r+1
+		class := tbl.Rows[halfRow][0]
+		// Under 1/2 bw: buffers-in-DRAM must gain more than lhs-in-DRAM.
+		bufHalf := cell(t, tbl, halfRow, 6) - cell(t, tbl, halfRow, 3)
+		lhsHalf := cell(t, tbl, halfRow, 6) - cell(t, tbl, halfRow, 4)
+		if bufHalf < lhsHalf {
+			t.Errorf("class %s at 1/2 bw: buffers gain %v < lhs gain %v", class, bufHalf, lhsHalf)
+		}
+		// Under 4x lat: lhs must gain much more than buffers.
+		bufLat := cell(t, tbl, latRow, 6) - cell(t, tbl, latRow, 3)
+		lhsLat := cell(t, tbl, latRow, 6) - cell(t, tbl, latRow, 4)
+		if lhsLat < 5*bufLat {
+			t.Errorf("class %s at 4x lat: lhs gain %v not >> buffer gain %v", class, lhsLat, bufLat)
+		}
+		// rhs helps under both (sensitive to both).
+		if rhsHalf := cell(t, tbl, halfRow, 6) - cell(t, tbl, halfRow, 5); rhsHalf <= 0 {
+			t.Errorf("class %s: rhs must help under 1/2 bw", class)
+		}
+		if rhsLat := cell(t, tbl, latRow, 6) - cell(t, tbl, latRow, 5); rhsLat <= 0 {
+			t.Errorf("class %s: rhs must help under 4x lat", class)
+		}
+	}
+}
+
+func TestTable4Sanity(t *testing.T) {
+	tbl, err := quickSuite().Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		name := tbl.Rows[r][0]
+		cost := cell(t, tbl, r, 3)
+		if cost > 10 {
+			t.Errorf("%s: pure runtime cost %v%% too high", name, cost)
+		}
+		overlap := cell(t, tbl, r, 4)
+		if overlap < 0 || overlap > 100 {
+			t.Errorf("%s: overlap %v%%", name, overlap)
+		}
+	}
+}
+
+func TestFig12ScalingShape(t *testing.T) {
+	s := quickSuite()
+	tbl, err := s.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		uni := cell(t, tbl, r, 3)
+		nvm := cell(t, tbl, r, 2)
+		// Quick mode runs only 12 iterations, so the profiling iteration
+		// and adoption amortize over fewer repeats than the full run
+		// (which lands <= 1.08); only the ordering and a loose envelope
+		// are asserted here.
+		if uni > nvm || uni > 1.25 {
+			t.Errorf("ranks=%s: Unimem %v vs NVM-only %v out of envelope", tbl.Rows[r][0], uni, nvm)
+		}
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "T", Columns: []string{"a", "b"}}
+	tbl.AddRow("r1", 1.5)
+	tbl.AddRow("r2", 2)
+	tbl.Notes = append(tbl.Notes, "note")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: T ==", "r1", "1.50", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,b\n") {
+		t.Errorf("csv header wrong: %q", buf.String())
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	tbl, err := quickSuite().Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("ablation rows %d", len(tbl.Rows))
+	}
+	// SP @4x lat: disabling the MLP correction must not *improve* the
+	// result (the refinement exists because the literal model misorders
+	// the knapsack there).
+	full := cell(t, tbl, 0, 2)
+	literal := cell(t, tbl, 0, 3)
+	if literal < full-0.02 {
+		t.Errorf("literal Eq.3 (%v) beat the MLP-corrected model (%v) on SP@4xlat", literal, full)
+	}
+	// Every configuration must still beat NVM-only.
+	for r := range tbl.Rows {
+		nvm := cell(t, tbl, r, 1)
+		for col := 2; col <= 5; col++ {
+			if v := cell(t, tbl, r, col); v > nvm+0.02 {
+				t.Errorf("row %s col %d: ablated Unimem %v worse than NVM-only %v",
+					tbl.Rows[r][0], col, v, nvm)
+			}
+		}
+	}
+}
+
+func TestFig11SharesSumToOne(t *testing.T) {
+	tbl, err := quickSuite().Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		var sum float64
+		for col := 1; col <= 4; col++ {
+			sum += cell(t, tbl, r, col)
+		}
+		if sum < 98 || sum > 102 {
+			t.Errorf("%s: technique shares sum to %v%%, want ~100%%", tbl.Rows[r][0], sum)
+		}
+	}
+}
+
+func TestFig13CapacityMonotone(t *testing.T) {
+	tbl, err := quickSuite().Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		c128, c256, c512 := cell(t, tbl, r, 2), cell(t, tbl, r, 3), cell(t, tbl, r, 4)
+		// More DRAM can only help (small tolerance for sampling jitter).
+		if c256 > c128+0.03 || c512 > c256+0.03 {
+			t.Errorf("%s: not monotone in DRAM size: %v %v %v", tbl.Rows[r][0], c128, c256, c512)
+		}
+	}
+}
+
+func TestTechSweepShape(t *testing.T) {
+	tbl, err := quickSuite().TechSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("techsweep rows %d, want the 3 NVM technologies", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		name := tbl.Rows[r][0]
+		for _, pair := range [][2]int{{2, 3}, {4, 5}} {
+			nvm, uni := cell(t, tbl, r, pair[0]), cell(t, tbl, r, pair[1])
+			if nvm < 1.5 {
+				t.Errorf("%s: NVM-only %v suspiciously fast for a degraded technology", name, nvm)
+			}
+			if uni > nvm/1.4 {
+				t.Errorf("%s: Unimem %v should recover most of the %vx gap", name, uni, nvm)
+			}
+		}
+	}
+	// Severity must rank STT-RAM < PCRAM < ReRAM for CG.
+	if !(cell(t, tbl, 0, 2) < cell(t, tbl, 1, 2) && cell(t, tbl, 1, 2) < cell(t, tbl, 2, 2)) {
+		t.Error("technology severity ordering violated")
+	}
+}

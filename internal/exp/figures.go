@@ -1,0 +1,389 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"unimem/internal/machine"
+	"unimem/internal/workloads"
+)
+
+// Table1 regenerates the paper's Table 1: NVM technology characteristics.
+func (s *Suite) Table1() (*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "NVM performance characteristics vs DRAM (paper Table 1)",
+		Columns: []string{"Technology", "Read time", "Write time", "Random read BW", "Random write BW"},
+	}
+	rng := func(lo, hi float64, unit string) string {
+		if lo == hi {
+			return fmt.Sprintf("%g %s", lo, unit)
+		}
+		return fmt.Sprintf("%g-%g %s", lo, hi, unit)
+	}
+	for _, ts := range machine.Table1() {
+		t.AddRow(ts.Name,
+			rng(ts.ReadNSMin, ts.ReadNSMax, "ns"),
+			rng(ts.WriteNSMin, ts.WriteNSMax, "ns"),
+			rng(ts.ReadBWMin, ts.ReadBWMax, "MB/s"),
+			rng(ts.WriteBWMin, ts.WriteBWMax, "MB/s"))
+	}
+	return t, nil
+}
+
+// Calib reports the one-time platform calibration (§3.1.2): CF_bw from
+// STREAM, CF_lat from pointer chasing, BW_peak from STREAM-on-NVM.
+func (s *Suite) Calib() (*Table, error) {
+	t := &Table{
+		ID:      "calib",
+		Title:   "Constant-factor calibration (STREAM + pChase, once per platform)",
+		Columns: []string{"Machine", "CF_bw", "CF_lat", "BW_peak GB/s", "STREAM meas/pred", "pChase meas/pred"},
+	}
+	base := machine.PlatformA()
+	for _, m := range []*machine.Machine{
+		base.WithNVMBandwidthFraction(0.5),
+		base.WithNVMLatencyFactor(4),
+		machine.Edison(),
+	} {
+		c := s.calibration(m)
+		t.AddRow(m.Name,
+			fmt.Sprintf("%.3f", c.CFBw),
+			fmt.Sprintf("%.3f", c.CFLat),
+			fmt.Sprintf("%.2f", c.BWPeakBps/1e9),
+			fmt.Sprintf("%.0f/%.0f us", c.StreamMeasuredNS/1e3, c.StreamPredictedNS/1e3),
+			fmt.Sprintf("%.0f/%.0f us", c.ChaseMeasuredNS/1e3, c.ChasePredictedNS/1e3))
+	}
+	t.Notes = append(t.Notes,
+		"CF factors absorb the sampled counters' systematic undercount (capture ratio 0.80 -> CF ~1.25)")
+	return t, nil
+}
+
+// Table3 regenerates the paper's Table 3: target data objects.
+func (s *Suite) Table3() (*Table, error) {
+	t := &Table{
+		ID:      "table3",
+		Title:   "Target data objects per benchmark (paper Table 3)",
+		Columns: []string{"Benchmark", "Target data objects", "% of app footprint"},
+	}
+	for _, w := range s.evalSuite() {
+		names := make([]string, 0, len(w.Objects))
+		for _, o := range w.Objects {
+			names = append(names, o.Name)
+		}
+		label := strings.Join(names, ",")
+		if w.Name == "Nek5000" {
+			label = fmt.Sprintf("geometry arrays and main simulation variables (%d objects)", len(w.Objects))
+		}
+		t.AddRow(w.Name+" ("+w.Class+")", label, fmtPct(w.FootprintFrac))
+	}
+	return t, nil
+}
+
+// sweep runs the NVM-only configuration sweep behind Figs. 2 and 3.
+func (s *Suite) sweep(id, title, axis string, mk func(*machine.Machine, float64) *machine.Machine, points []float64, labels []string) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: append([]string{"Benchmark"}, labels...),
+	}
+	base := machine.PlatformA()
+	// Figs. 2/3 use Class D (FT at C) on 16 processes; per-rank footprints
+	// come from the workload's rank scaling.
+	suite := workloads.EvalSuite("D", s.Ranks)
+	suite = suite[:len(suite)-1] // NPB only in Figs. 2/3
+	for _, w := range suite {
+		dram, err := s.runStatic(w, base, "dram-only", nil)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{w.Name}
+		for _, p := range points {
+			m := mk(base, p)
+			nvm, err := s.runStatic(w, m, "nvm-only", nil)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, norm(nvm.TimeNS, dram.TimeNS))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "execution time normalized to DRAM-only; "+axis)
+	return t, nil
+}
+
+// Fig2 regenerates Fig. 2: NVM-only slowdown under reduced bandwidth.
+func (s *Suite) Fig2() (*Table, error) {
+	return s.sweep("fig2",
+		"NVM-only vs DRAM-only under reduced NVM bandwidth (paper Fig. 2)",
+		"NVM bandwidth as a fraction of DRAM",
+		func(b *machine.Machine, f float64) *machine.Machine { return b.WithNVMBandwidthFraction(f) },
+		[]float64{0.5, 0.25, 0.125},
+		[]string{"1/2 bw", "1/4 bw", "1/8 bw"})
+}
+
+// Fig3 regenerates Fig. 3: NVM-only slowdown under increased latency.
+func (s *Suite) Fig3() (*Table, error) {
+	return s.sweep("fig3",
+		"NVM-only vs DRAM-only under increased NVM latency (paper Fig. 3)",
+		"NVM latency as a multiple of DRAM",
+		func(b *machine.Machine, f float64) *machine.Machine { return b.WithNVMLatencyFactor(f) },
+		[]float64{2, 4, 8},
+		[]string{"2x lat", "4x lat", "8x lat"})
+}
+
+// Fig4 regenerates Fig. 4: the impact of placing individual SP data
+// objects in DRAM, for NVM at 1/2 bandwidth and at 4x latency, Class C
+// and Class D.
+func (s *Suite) Fig4() (*Table, error) {
+	t := &Table{
+		ID:    "fig4",
+		Title: "SP: impact of per-object DRAM placement (paper Fig. 4)",
+		Columns: []string{"Class", "NVM config", "DRAM-only",
+			"in+out buffer", "lhs", "rhs", "NVM-only"},
+	}
+	groups := [][]string{
+		{"in_buffer", "out_buffer"},
+		{"lhs"},
+		{"rhs"},
+	}
+	base := machine.PlatformA()
+	bigDRAM := int64(2) << 30 // Fig. 4 places whole objects; give DRAM room
+	for _, class := range []string{"C", "D"} {
+		w := workloads.NewSP(class, s.Ranks)
+		for _, cfg := range []struct {
+			label string
+			m     *machine.Machine
+		}{
+			{"1/2 bw", base.WithNVMBandwidthFraction(0.5).WithDRAMCapacity(bigDRAM)},
+			{"4x lat", base.WithNVMLatencyFactor(4).WithDRAMCapacity(bigDRAM)},
+		} {
+			dram, err := s.runStatic(w, dramMachineFor(cfg.m), "dram-only", nil)
+			if err != nil {
+				return nil, err
+			}
+			row := []interface{}{class, cfg.label, 1.00}
+			for _, g := range groups {
+				set := make(map[string]bool, len(g))
+				for _, n := range g {
+					set[n] = true
+				}
+				r, err := s.runStatic(w, cfg.m, "pin:"+strings.Join(g, "+"),
+					func(o string) bool { return set[o] })
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, norm(r.TimeNS, dram.TimeNS))
+			}
+			nvm, err := s.runStatic(w, cfg.m, "nvm-only", nil)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, norm(nvm.TimeNS, dram.TimeNS))
+			t.AddRow(row...)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: buffers help under 1/2 bw but not 4x lat; lhs the reverse; rhs helps under both")
+	return t, nil
+}
+
+// comparison runs the Fig. 9/10 basic performance test on one NVM machine.
+func (s *Suite) comparison(id, title string, m *machine.Machine) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"Benchmark", "DRAM-only", "NVM-only", "X-Mem", "Unimem"},
+	}
+	dm := dramMachineFor(m)
+	var nvmN, xN, uN []float64
+	for _, w := range s.evalSuite() {
+		dram, err := s.runStatic(w, dm, "dram-only", nil)
+		if err != nil {
+			return nil, err
+		}
+		nvm, err := s.runStatic(w, m, "nvm-only", nil)
+		if err != nil {
+			return nil, err
+		}
+		xm, err := s.runXMem(w, m)
+		if err != nil {
+			return nil, err
+		}
+		uni, _, err := s.runUnimem(w, m, s.unimemConfig(m))
+		if err != nil {
+			return nil, err
+		}
+		n1 := norm(nvm.TimeNS, dram.TimeNS)
+		n2 := norm(xm.TimeNS, dram.TimeNS)
+		n3 := norm(uni.TimeNS, dram.TimeNS)
+		nvmN = append(nvmN, n1)
+		xN = append(xN, n2)
+		uN = append(uN, n3)
+		t.AddRow(w.Name, 1.00, n1, n2, n3)
+	}
+	t.AddRow(avgLabel, 1.00, mean(nvmN), mean(xN), mean(uN))
+	return t, nil
+}
+
+// Fig9 regenerates Fig. 9: DRAM-only / NVM-only / X-Mem / Unimem with NVM
+// at 1/2 DRAM bandwidth.
+func (s *Suite) Fig9() (*Table, error) {
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	return s.comparison("fig9",
+		"Basic performance test, NVM = 1/2 DRAM bandwidth (paper Fig. 9)", m)
+}
+
+// Fig10 regenerates Fig. 10: the same comparison with NVM at 4x latency.
+func (s *Suite) Fig10() (*Table, error) {
+	m := machine.PlatformA().WithNVMLatencyFactor(4)
+	return s.comparison("fig10",
+		"Basic performance test, NVM = 4x DRAM latency (paper Fig. 10)", m)
+}
+
+// Fig11 regenerates Fig. 11: the cumulative technique ablation — (1)
+// cross-phase global search, (2) + phase-local search, (3) + partitioning,
+// (4) + initial placement — reporting each technique's share of the total
+// improvement over NVM-only.
+func (s *Suite) Fig11() (*Table, error) {
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	t := &Table{
+		ID:    "fig11",
+		Title: "Contribution of the four techniques (paper Fig. 11), NVM = 1/2 bw",
+		Columns: []string{"Benchmark", "global", "+local", "+partition",
+			"+initial", "total gain vs NVM-only"},
+	}
+	for _, w := range s.evalSuite() {
+		nvm, err := s.runStatic(w, m, "nvm-only", nil)
+		if err != nil {
+			return nil, err
+		}
+		times := []float64{float64(nvm.TimeNS)}
+		for step := 1; step <= 4; step++ {
+			cfg := s.unimemConfig(m)
+			cfg.EnableGlobal = true
+			cfg.EnableLocal = step >= 2
+			cfg.EnablePartition = step >= 3
+			cfg.EnableInitial = step >= 4
+			res, _, err := s.runUnimem(w, m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, float64(res.TimeNS))
+		}
+		total := times[0] - times[4]
+		row := []interface{}{w.Name}
+		for i := 1; i <= 4; i++ {
+			share := 0.0
+			if total > 0 {
+				share = (times[i-1] - times[i]) / total
+			}
+			row = append(row, fmtPct(share))
+		}
+		row = append(row, fmtPct((times[0]-times[4])/times[0]))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"shares of total Unimem improvement; negative shares mean the step alone regressed and a later step recovered it")
+	return t, nil
+}
+
+// Table4 regenerates Table 4: data migration details for HMS with Unimem
+// (NVM = 1/2 DRAM bandwidth).
+func (s *Suite) Table4() (*Table, error) {
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	t := &Table{
+		ID:    "table4",
+		Title: "Data migration details, Unimem on HMS, NVM = 1/2 bw (paper Table 4)",
+		Columns: []string{"Benchmark", "Migrations", "Migrated MB",
+			"Pure runtime cost", "% overlap", "Decisions"},
+	}
+	for _, w := range s.evalSuite() {
+		res, col, err := s.runUnimem(w, m, s.unimemConfig(m))
+		if err != nil {
+			return nil, err
+		}
+		r0 := res.Ranks[0]
+		cost := 0.0
+		if r0.TimeNS > 0 {
+			cost = r0.OverheadNS / float64(r0.TimeNS)
+		}
+		t.AddRow(w.Name,
+			r0.Migrations.Migrations,
+			fmtMB(r0.Migrations.BytesMigrated),
+			fmtPct(cost),
+			fmtPct(col.OverlapFrac()),
+			col.Decisions())
+	}
+	t.Notes = append(t.Notes, "per-rank (rank 0) counts; paper reports per-job aggregates of the same order")
+	return t, nil
+}
+
+// Fig12 regenerates Fig. 12: CG strong scaling on the Edison-like platform
+// (NUMA-emulated NVM: 0.6x bandwidth, 1.89x latency), Class D.
+func (s *Suite) Fig12() (*Table, error) {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "CG strong scaling, Edison-like NUMA-emulated NVM (paper Fig. 12)",
+		Columns: []string{"Ranks", "DRAM-only", "NVM-only", "Unimem"},
+	}
+	m := machine.Edison()
+	dm := dramMachineFor(m)
+	scales := []int{4, 8, 16, 32, 64}
+	if s.Quick {
+		scales = []int{4, 16}
+	}
+	for _, p := range scales {
+		w := workloads.NewCG("D", p)
+		opts := s.opts()
+		opts.Ranks = p
+		dram, err := s.runWith(w, dm, opts, "dram-only")
+		if err != nil {
+			return nil, err
+		}
+		nvm, err := s.runWith(w, m, opts, "nvm-only")
+		if err != nil {
+			return nil, err
+		}
+		col := NewCollector()
+		uni, err := s.runWithFactory(w, m, opts, col.Factory(s.unimemConfig(m)))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p, 1.00, norm(nvm.TimeNS, dram.TimeNS), norm(uni.TimeNS, dram.TimeNS))
+	}
+	return t, nil
+}
+
+// Fig13 regenerates Fig. 13: Unimem's sensitivity to the DRAM size in HMS
+// (128/256/512 MB), NVM = 1/2 bandwidth, Class C.
+func (s *Suite) Fig13() (*Table, error) {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Sensitivity to DRAM size, NVM = 1/2 bw (paper Fig. 13)",
+		Columns: []string{"Benchmark", "NVM-only", "128MB", "256MB", "512MB"},
+	}
+	base := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	for _, w := range s.evalSuite() {
+		dram, err := s.runStatic(w, dramMachineFor(base), "dram-only", nil)
+		if err != nil {
+			return nil, err
+		}
+		nvm, err := s.runStatic(w, base, "nvm-only", nil)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{w.Name, norm(nvm.TimeNS, dram.TimeNS)}
+		for _, mb := range []int64{128, 256, 512} {
+			m := base.WithDRAMCapacity(mb << 20)
+			uni, _, err := s.runUnimem(w, m, s.unimemConfig(m))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, norm(uni.TimeNS, dram.TimeNS))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: MG keeps a visible gap at 128MB (large unpartitionable arrays), everything else within ~7%")
+	return t, nil
+}

@@ -1,0 +1,222 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"unimem/internal/app"
+	"unimem/internal/core"
+	"unimem/internal/counters"
+	"unimem/internal/machine"
+	"unimem/internal/model"
+	"unimem/internal/workloads"
+	"unimem/internal/xmem"
+)
+
+// Suite carries the shared experiment configuration.
+type Suite struct {
+	// Class is the NPB class for the basic experiments (paper: C).
+	Class string
+	// Ranks is the world size (paper: 4 nodes x 1 task).
+	Ranks int
+	Seed  uint64
+	// Quick caps iteration counts for use under testing.B.
+	Quick bool
+
+	mu    sync.Mutex
+	calib map[string]model.Calibration
+}
+
+// NewSuite returns a Suite with the paper's defaults.
+func NewSuite() *Suite {
+	return &Suite{Class: "C", Ranks: 4, Seed: 0xD07, calib: map[string]model.Calibration{}}
+}
+
+// Runner is one experiment entry point.
+type Runner func(*Suite) (*Table, error)
+
+// Registry maps experiment IDs to runners, in presentation order.
+func Registry() ([]string, map[string]Runner) {
+	order := []string{
+		"table1", "calib", "table3", "fig2", "fig3", "fig4",
+		"fig9", "fig10", "fig11", "table4", "fig12", "fig13",
+		"ablation", "techsweep",
+	}
+	m := map[string]Runner{
+		"table1":    (*Suite).Table1,
+		"calib":     (*Suite).Calib,
+		"table3":    (*Suite).Table3,
+		"fig2":      (*Suite).Fig2,
+		"fig3":      (*Suite).Fig3,
+		"fig4":      (*Suite).Fig4,
+		"fig9":      (*Suite).Fig9,
+		"fig10":     (*Suite).Fig10,
+		"fig11":     (*Suite).Fig11,
+		"table4":    (*Suite).Table4,
+		"fig12":     (*Suite).Fig12,
+		"fig13":     (*Suite).Fig13,
+		"ablation":  (*Suite).Ablation,
+		"techsweep": (*Suite).TechSweep,
+	}
+	return order, m
+}
+
+// calibration memoizes the per-machine one-time calibration (the paper
+// computes CF_bw/CF_lat/BW_peak once per platform).
+func (s *Suite) calibration(m *machine.Machine) model.Calibration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.calib == nil {
+		s.calib = map[string]model.Calibration{}
+	}
+	if c, ok := s.calib[m.Name]; ok {
+		return c
+	}
+	c := model.Calibrate(m, counters.Default(), s.Seed^0xCA1)
+	s.calib[m.Name] = c
+	return c
+}
+
+// prep applies Quick-mode iteration capping.
+func (s *Suite) prep(w *workloads.Workload) *workloads.Workload {
+	if s.Quick && w.Iterations > 12 {
+		cp := *w
+		cp.Iterations = 12
+		return &cp
+	}
+	return w
+}
+
+// unimemConfig builds the Unimem config for a machine with the shared
+// calibration installed.
+func (s *Suite) unimemConfig(m *machine.Machine) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Calibration = s.calibration(m)
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// runStatic executes the workload under a fixed placement.
+func (s *Suite) runStatic(w *workloads.Workload, m *machine.Machine, name string, inDRAM func(string) bool) (*app.Result, error) {
+	return app.Run(s.prep(w), m, s.opts(), app.NewStaticFactory(name, inDRAM))
+}
+
+// runUnimem executes the workload under the full Unimem runtime and
+// returns the result plus the per-rank runtimes for introspection.
+func (s *Suite) runUnimem(w *workloads.Workload, m *machine.Machine, cfg core.Config) (*app.Result, *Collector, error) {
+	col := NewCollector()
+	res, err := app.Run(s.prep(w), m, s.opts(), col.Factory(cfg))
+	return res, col, err
+}
+
+// runXMem executes the offline-profiling baseline: profile pass, static
+// placement, measured run.
+func (s *Suite) runXMem(w *workloads.Workload, m *machine.Machine) (*app.Result, error) {
+	prof, err := xmem.Profile(s.prep(w), m, s.opts())
+	if err != nil {
+		return nil, err
+	}
+	set := xmem.BuildPlacement(w, m, prof)
+	return app.Run(s.prep(w), m, s.opts(), xmem.Factory(set))
+}
+
+func (s *Suite) opts() app.Options {
+	return app.Options{Ranks: s.Ranks, Seed: s.Seed}
+}
+
+// runWith executes a workload under a static all-NVM placement with
+// explicit options (used by the strong-scaling experiment, which overrides
+// the rank count per data point).
+func (s *Suite) runWith(w *workloads.Workload, m *machine.Machine, opts app.Options, name string) (*app.Result, error) {
+	return app.Run(s.prep(w), m, opts, app.NewStaticFactory(name, nil))
+}
+
+// runWithFactory is runWith for arbitrary manager factories.
+func (s *Suite) runWithFactory(w *workloads.Workload, m *machine.Machine, opts app.Options, f app.ManagerFactory) (*app.Result, error) {
+	return app.Run(s.prep(w), m, opts, f)
+}
+
+// Collector gathers the per-rank Unimem runtimes created by a factory so
+// experiments can read mover statistics and decision counts after a run.
+type Collector struct {
+	mu       sync.Mutex
+	Runtimes []*core.Runtime
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Factory wraps core.Factory, recording every runtime it creates.
+func (c *Collector) Factory(cfg core.Config) app.ManagerFactory {
+	return func(rank int) app.Manager {
+		r := core.NewRuntime(rank, cfg)
+		c.mu.Lock()
+		c.Runtimes = append(c.Runtimes, r)
+		c.mu.Unlock()
+		return r
+	}
+}
+
+// OverlapFrac returns the mean helper-thread overlap fraction across ranks.
+func (c *Collector) OverlapFrac() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.Runtimes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range c.Runtimes {
+		sum += r.MoverStats().OverlapFrac()
+	}
+	return sum / float64(len(c.Runtimes))
+}
+
+// Decisions returns rank 0's placement decision count.
+func (c *Collector) Decisions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.Runtimes {
+		return r.Decisions
+	}
+	return 0
+}
+
+// norm returns t/base formatted as the paper's normalized execution time.
+func norm(t, base int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(t) / float64(base)
+}
+
+// geomMeanLabel is the label used for the average column/row.
+const avgLabel = "avg"
+
+// mean returns the arithmetic mean.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// dramMachineFor returns the undegraded twin of m (NVM tier == DRAM tier):
+// the DRAM-only system all results normalize against.
+func dramMachineFor(m *machine.Machine) *machine.Machine {
+	return m.WithNVMLatencyFactor(1).WithNVMBandwidthFraction(1)
+}
+
+// evalSuite lists the benchmarks of the basic performance tests.
+func (s *Suite) evalSuite() []*workloads.Workload {
+	return workloads.EvalSuite(s.Class, s.Ranks)
+}
+
+// fmtMB renders bytes as whole mebibytes.
+func fmtMB(b int64) string { return fmt.Sprintf("%d", b>>20) }
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

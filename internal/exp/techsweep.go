@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"unimem/internal/machine"
+	"unimem/internal/workloads"
+)
+
+// TechSweep evaluates the named NVM technology points of the paper's
+// Table 1 (STT-RAM, PCRAM, ReRAM) instead of the synthetic fraction/factor
+// sweeps: each technology's published latency and bandwidth ratios to DRAM
+// configure the NVM tier, and CG and MG run NVM-only and under Unimem.
+//
+// The paper motivates this with Observation 1 ("application performance is
+// sensitive to different NVM technologies with various bandwidth and
+// latency"); this sweep makes the sensitivity concrete per technology and
+// shows how much of each technology's gap the runtime recovers.
+func (s *Suite) TechSweep() (*Table, error) {
+	t := &Table{
+		ID:    "techsweep",
+		Title: "Named NVM technologies from Table 1: NVM-only vs Unimem",
+		Columns: []string{"Technology", "NVM bw/lat vs DRAM",
+			"CG NVM-only", "CG Unimem", "MG NVM-only", "MG Unimem"},
+	}
+	base := machine.PlatformA()
+	cg := workloads.NewCG(s.Class, s.Ranks)
+	mg := workloads.NewMG(s.Class, s.Ranks)
+	for _, tech := range machine.Table1()[1:] {
+		m := machine.TechMachine(base, tech)
+		dm := dramMachineFor(m)
+		row := []interface{}{tech.Name, describeTiers(m)}
+		for _, w := range []*workloads.Workload{cg, mg} {
+			dram, err := s.runStatic(w, dm, "dram-only", nil)
+			if err != nil {
+				return nil, err
+			}
+			nvm, err := s.runStatic(w, m, "nvm-only", nil)
+			if err != nil {
+				return nil, err
+			}
+			uni, _, err := s.runUnimem(w, m, s.unimemConfig(m))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, norm(nvm.TimeNS, dram.TimeNS), norm(uni.TimeNS, dram.TimeNS))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"tier ratios are midpoints of Table 1's published ranges; ReRAM's extreme write figures make it the stress case")
+	return t, nil
+}
+
+func describeTiers(m *machine.Machine) string {
+	bw := m.NVMSpec.BandwidthBps / m.DRAMSpec.BandwidthBps
+	lat := m.NVMSpec.ReadLatNS / m.DRAMSpec.ReadLatNS
+	latStr := strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.1f", lat), "0"), ".")
+	return fmtPct(bw) + " bw, " + latStr + "x read lat"
+}

@@ -1,0 +1,302 @@
+// Package machine models the hardware platform underneath the Unimem
+// runtime: a CPU, a network, and a two-tier main memory (DRAM + NVM).
+//
+// The paper evaluates on real clusters whose NVM is emulated by Quartz
+// (bandwidth- or latency-throttled DRAM) or by remote NUMA memory. This
+// package is the corresponding substrate in simulation form: it defines the
+// tier characteristics the paper sweeps (fractional bandwidth, latency
+// multipliers, Table 1 technology points) and a first-order timing model
+// that converts post-cache memory traffic into virtual nanoseconds.
+//
+// All simulated time in the repository is int64 nanoseconds produced by this
+// package; nothing in the simulation path reads the wall clock.
+package machine
+
+import "fmt"
+
+// CacheLineBytes is the cache line size assumed throughout (matches the
+// paper's Eq. 1, which multiplies access counts by the cache line size).
+const CacheLineBytes = 64
+
+// TierKind identifies one of the two main-memory tiers of the HMS.
+type TierKind int
+
+const (
+	// DRAM is the small, fast tier.
+	DRAM TierKind = iota
+	// NVM is the large, slow tier where objects live by default.
+	NVM
+)
+
+// String returns the conventional tier name.
+func (k TierKind) String() string {
+	switch k {
+	case DRAM:
+		return "DRAM"
+	case NVM:
+		return "NVM"
+	default:
+		return fmt.Sprintf("TierKind(%d)", int(k))
+	}
+}
+
+// TierSpec describes one memory tier's performance and capacity.
+type TierSpec struct {
+	Kind TierKind
+	// ReadLatNS and WriteLatNS are loaded access latencies in nanoseconds.
+	ReadLatNS  float64
+	WriteLatNS float64
+	// BandwidthBps is the per-rank sustainable bandwidth in bytes/second.
+	BandwidthBps float64
+	// CapacityBytes is the per-rank capacity of the tier.
+	CapacityBytes int64
+}
+
+// Latency returns the effective access latency in ns for a mix of reads and
+// writes, where readFrac is the fraction of accesses that are reads.
+func (t TierSpec) Latency(readFrac float64) float64 {
+	if readFrac < 0 {
+		readFrac = 0
+	} else if readFrac > 1 {
+		readFrac = 1
+	}
+	return readFrac*t.ReadLatNS + (1-readFrac)*t.WriteLatNS
+}
+
+// Pattern classifies the main-memory access behaviour of a data object in a
+// phase. The pattern determines memory-level parallelism (MLP), which is what
+// makes an object bandwidth-sensitive (many concurrent independent accesses)
+// or latency-sensitive (dependent accesses), per §2.2 of the paper.
+type Pattern int
+
+const (
+	// Stream is sequential, massively concurrent access (e.g. vector
+	// sweeps); bandwidth-bound.
+	Stream Pattern = iota
+	// Stencil is near-neighbour access with good spatial locality and high
+	// concurrency; mostly bandwidth-bound.
+	Stencil
+	// Random is independent accesses with poor locality and moderate
+	// concurrency; sensitive to both bandwidth and latency.
+	Random
+	// PointerChase is dependent accesses (linked traversal, indexed
+	// gather chains); latency-bound.
+	PointerChase
+)
+
+var patternNames = [...]string{"stream", "stencil", "random", "pointer-chase"}
+
+// String returns a short human-readable pattern name.
+func (p Pattern) String() string {
+	if int(p) < len(patternNames) {
+		return patternNames[p]
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// MLP returns the memory-level parallelism assumed for the pattern: the
+// effective number of main-memory accesses in flight (hardware prefetchers
+// give streaming sweeps very deep pipelines; dependent chains have none).
+func (p Pattern) MLP() float64 {
+	switch p {
+	case Stream:
+		return 320
+	case Stencil:
+		return 32
+	case Random:
+		return 8
+	case PointerChase:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Machine is the full platform description. The zero value is not usable;
+// construct with PlatformA or Edison and derive NVM variants with the
+// With* methods (which return copies, so a base machine can be reused
+// across experiment sweeps).
+type Machine struct {
+	Name string
+
+	DRAMSpec TierSpec
+	NVMSpec  TierSpec
+
+	// CopyBandwidthBps is the achievable NVM<->DRAM memcpy bandwidth used
+	// for data migration (Eq. 4's mem_copy_bw).
+	CopyBandwidthBps float64
+
+	// CPUFreqHz is the core clock; together with SampleIntervalCycles it
+	// sets the emulated performance-counter sampling period.
+	CPUFreqHz float64
+	// FlopsPerSec is the per-rank achievable compute throughput used to
+	// convert a phase's flop count into compute time.
+	FlopsPerSec float64
+	// SampleIntervalCycles is the counter sampling interval (paper: 1000).
+	SampleIntervalCycles int64
+
+	// NetLatencyNS and NetBandwidthBps parametrize the interconnect model
+	// used by the MPI substrate.
+	NetLatencyNS    float64
+	NetBandwidthBps float64
+}
+
+// PlatformA returns the paper's "Platform A": a small cluster with two
+// eight-core Xeon E5-2630 per node and 32 GB DDR4. The DRAM numbers are
+// first-order per-rank figures; the experiments only depend on NVM/DRAM
+// ratios, which the With* methods set exactly as the paper's sweeps do.
+// The default NVM tier equals DRAM performance (i.e. not yet degraded);
+// experiments always derive a degraded variant.
+func PlatformA() *Machine {
+	dram := TierSpec{
+		Kind:          DRAM,
+		ReadLatNS:     80,
+		WriteLatNS:    80,
+		BandwidthBps:  12.8e9,
+		CapacityBytes: 256 << 20, // paper's default HMS DRAM: 256MB
+	}
+	nvm := dram
+	nvm.Kind = NVM
+	nvm.CapacityBytes = 16 << 30 // paper's default NVM: 16GB
+	m := &Machine{
+		Name:                 "PlatformA",
+		DRAMSpec:             dram,
+		NVMSpec:              nvm,
+		CPUFreqHz:            2.4e9,
+		FlopsPerSec:          4.8e9,
+		SampleIntervalCycles: 1000,
+		NetLatencyNS:         1500,
+		NetBandwidthBps:      5.0e9,
+	}
+	m.recomputeCopyBW()
+	return m
+}
+
+// Edison returns the LBNL Edison-like platform used for strong scaling
+// (two 12-core Ivy Bridge, 64 GB DDR3), with NVM emulated by remote NUMA:
+// 60% of DRAM bandwidth and 1.89x DRAM latency, and 32GB NVM / 256MB DRAM
+// per the paper's strong-scaling configuration.
+func Edison() *Machine {
+	m := PlatformA()
+	m.Name = "Edison"
+	m.DRAMSpec.BandwidthBps = 14.0e9
+	m.NVMSpec.BandwidthBps = 14.0e9
+	m.NVMSpec.CapacityBytes = 32 << 30
+	m.NetLatencyNS = 1100
+	m.NetBandwidthBps = 8.0e9
+	mm := m.WithNVMBandwidthFraction(0.60)
+	mm = mm.WithNVMLatencyFactor(1.89)
+	mm.Name = "Edison"
+	return mm
+}
+
+// clone returns a deep copy of m.
+func (m *Machine) clone() *Machine {
+	c := *m
+	return &c
+}
+
+// recomputeCopyBW sets the migration copy bandwidth to a fixed fraction of
+// the slower tier's bandwidth: a DRAM<->NVM memcpy is limited by the NVM
+// side once NVM is degraded.
+func (m *Machine) recomputeCopyBW() {
+	slow := m.NVMSpec.BandwidthBps
+	if m.DRAMSpec.BandwidthBps < slow {
+		slow = m.DRAMSpec.BandwidthBps
+	}
+	m.CopyBandwidthBps = 0.85 * slow
+}
+
+// WithNVMBandwidthFraction returns a copy of m whose NVM tier has
+// frac x DRAM bandwidth (latency unchanged). frac must be in (0, 1].
+func (m *Machine) WithNVMBandwidthFraction(frac float64) *Machine {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("machine: bandwidth fraction %v out of (0,1]", frac))
+	}
+	c := m.clone()
+	c.NVMSpec.BandwidthBps = m.DRAMSpec.BandwidthBps * frac
+	c.Name = fmt.Sprintf("%s/NVM-bw=%gx", m.Name, frac)
+	c.recomputeCopyBW()
+	return c
+}
+
+// WithNVMLatencyFactor returns a copy of m whose NVM tier has factor x DRAM
+// latency (bandwidth unchanged). factor must be >= 1.
+func (m *Machine) WithNVMLatencyFactor(factor float64) *Machine {
+	if factor < 1 {
+		panic(fmt.Sprintf("machine: latency factor %v < 1", factor))
+	}
+	c := m.clone()
+	c.NVMSpec.ReadLatNS = m.DRAMSpec.ReadLatNS * factor
+	c.NVMSpec.WriteLatNS = m.DRAMSpec.WriteLatNS * factor
+	c.Name = fmt.Sprintf("%s/NVM-lat=%gx", m.Name, factor)
+	c.recomputeCopyBW()
+	return c
+}
+
+// WithDRAMCapacity returns a copy of m with the given per-rank DRAM capacity.
+func (m *Machine) WithDRAMCapacity(bytes int64) *Machine {
+	c := m.clone()
+	c.DRAMSpec.CapacityBytes = bytes
+	return c
+}
+
+// WithNVMCapacity returns a copy of m with the given per-rank NVM capacity.
+func (m *Machine) WithNVMCapacity(bytes int64) *Machine {
+	c := m.clone()
+	c.NVMSpec.CapacityBytes = bytes
+	return c
+}
+
+// Tier returns the spec for the given tier kind.
+func (m *Machine) Tier(k TierKind) TierSpec {
+	if k == DRAM {
+		return m.DRAMSpec
+	}
+	return m.NVMSpec
+}
+
+// SamplePeriodNS returns the emulated counter sampling period in ns.
+func (m *Machine) SamplePeriodNS() float64 {
+	return float64(m.SampleIntervalCycles) / m.CPUFreqHz * 1e9
+}
+
+// MemTimeNS returns the virtual time, in nanoseconds, to service accesses
+// main-memory accesses of the given pattern against tier k, with readFrac
+// of them reads. The model is additive: a bandwidth term (bytes moved over
+// tier bandwidth) plus a latency term (serialized access chains of depth
+// accesses/MLP). Deep-MLP streams are bandwidth-bound and nearly latency-
+// insensitive; dependent chains are the reverse; mid-MLP random access
+// pays both — which is exactly the sensitivity taxonomy of §2.2 (and lets
+// an object be "sensitive to both", like SP's rhs in Fig. 4).
+func (m *Machine) MemTimeNS(k TierKind, accesses int64, p Pattern, readFrac float64) float64 {
+	if accesses <= 0 {
+		return 0
+	}
+	t := m.Tier(k)
+	bwTerm := float64(accesses*CacheLineBytes) / t.BandwidthBps * 1e9
+	latTerm := float64(accesses) * t.Latency(readFrac) / p.MLP()
+	return bwTerm + latTerm
+}
+
+// ComputeTimeNS converts a flop count into compute time.
+func (m *Machine) ComputeTimeNS(flops float64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	return flops / m.FlopsPerSec * 1e9
+}
+
+// CopyTimeNS returns the virtual time to migrate bytes between tiers.
+func (m *Machine) CopyTimeNS(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / m.CopyBandwidthBps * 1e9
+}
+
+// MsgTimeNS returns the virtual time for a point-to-point message of the
+// given size: a latency term plus a bandwidth term.
+func (m *Machine) MsgTimeNS(bytes int64) float64 {
+	return m.NetLatencyNS + float64(bytes)/m.NetBandwidthBps*1e9
+}

@@ -1,0 +1,241 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlatformADefaults(t *testing.T) {
+	m := PlatformA()
+	if m.DRAMSpec.CapacityBytes != 256<<20 {
+		t.Errorf("default DRAM capacity = %d, want 256MiB", m.DRAMSpec.CapacityBytes)
+	}
+	if m.NVMSpec.CapacityBytes != 16<<30 {
+		t.Errorf("default NVM capacity = %d, want 16GiB", m.NVMSpec.CapacityBytes)
+	}
+	if m.NVMSpec.BandwidthBps != m.DRAMSpec.BandwidthBps {
+		t.Error("base machine should have undegraded NVM")
+	}
+	if m.SampleIntervalCycles != 1000 {
+		t.Errorf("sampling interval = %d cycles, want the paper's 1000", m.SampleIntervalCycles)
+	}
+}
+
+func TestWithNVMBandwidthFraction(t *testing.T) {
+	m := PlatformA()
+	h := m.WithNVMBandwidthFraction(0.5)
+	if h.NVMSpec.BandwidthBps != m.DRAMSpec.BandwidthBps/2 {
+		t.Error("half-bandwidth NVM wrong")
+	}
+	if h.NVMSpec.ReadLatNS != m.DRAMSpec.ReadLatNS {
+		t.Error("bandwidth knob must not change latency")
+	}
+	// The base machine must be unmodified (With* returns copies).
+	if m.NVMSpec.BandwidthBps != m.DRAMSpec.BandwidthBps {
+		t.Error("WithNVMBandwidthFraction mutated the receiver")
+	}
+}
+
+func TestWithNVMLatencyFactor(t *testing.T) {
+	m := PlatformA()
+	l := m.WithNVMLatencyFactor(4)
+	if l.NVMSpec.ReadLatNS != 4*m.DRAMSpec.ReadLatNS {
+		t.Error("4x latency NVM wrong")
+	}
+	if l.NVMSpec.BandwidthBps != m.DRAMSpec.BandwidthBps {
+		t.Error("latency knob must not change bandwidth")
+	}
+}
+
+func TestWithPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PlatformA().WithNVMBandwidthFraction(0) },
+		func() { PlatformA().WithNVMBandwidthFraction(1.5) },
+		func() { PlatformA().WithNVMLatencyFactor(0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid tier knob")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUndoDegradation(t *testing.T) {
+	m := PlatformA().WithNVMBandwidthFraction(0.25).WithNVMLatencyFactor(8)
+	back := m.WithNVMLatencyFactor(1).WithNVMBandwidthFraction(1)
+	if back.NVMSpec.BandwidthBps != back.DRAMSpec.BandwidthBps ||
+		back.NVMSpec.ReadLatNS != back.DRAMSpec.ReadLatNS {
+		t.Error("resetting knobs to 1 should restore DRAM parity")
+	}
+}
+
+func TestEdison(t *testing.T) {
+	m := Edison()
+	if got := m.NVMSpec.BandwidthBps / m.DRAMSpec.BandwidthBps; math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("Edison NVM bandwidth ratio = %v, want 0.6", got)
+	}
+	if got := m.NVMSpec.ReadLatNS / m.DRAMSpec.ReadLatNS; math.Abs(got-1.89) > 1e-9 {
+		t.Errorf("Edison NVM latency ratio = %v, want 1.89", got)
+	}
+	if m.NVMSpec.CapacityBytes != 32<<30 {
+		t.Errorf("Edison NVM capacity = %d, want 32GiB", m.NVMSpec.CapacityBytes)
+	}
+}
+
+func TestLatencyMix(t *testing.T) {
+	ts := TierSpec{ReadLatNS: 100, WriteLatNS: 300}
+	if got := ts.Latency(1.0); got != 100 {
+		t.Errorf("pure-read latency = %v", got)
+	}
+	if got := ts.Latency(0); got != 300 {
+		t.Errorf("pure-write latency = %v", got)
+	}
+	if got := ts.Latency(0.5); got != 200 {
+		t.Errorf("mixed latency = %v", got)
+	}
+	// Out-of-range fractions clamp.
+	if got := ts.Latency(2); got != 100 {
+		t.Errorf("clamped latency = %v", got)
+	}
+}
+
+func TestMemTimeStreamIsBandwidthBound(t *testing.T) {
+	m := PlatformA()
+	const acc = 1 << 20
+	dram := m.MemTimeNS(DRAM, acc, Stream, 1)
+	// Halving NVM bandwidth must roughly double stream time.
+	half := m.WithNVMBandwidthFraction(0.5)
+	ratioBW := half.MemTimeNS(NVM, acc, Stream, 1) / dram
+	if ratioBW < 1.8 {
+		t.Errorf("stream at 1/2 bw only %vx slower; should be bandwidth-bound", ratioBW)
+	}
+	// Quadrupling latency must barely move stream time (deep MLP).
+	lat4 := m.WithNVMLatencyFactor(4)
+	ratioLat := lat4.MemTimeNS(NVM, acc, Stream, 1) / dram
+	if ratioLat > 1.3 {
+		t.Errorf("stream at 4x lat %vx slower; streams should hide latency", ratioLat)
+	}
+}
+
+func TestMemTimePointerChaseIsLatencyBound(t *testing.T) {
+	m := PlatformA()
+	const acc = 1 << 20
+	dram := m.MemTimeNS(DRAM, acc, PointerChase, 1)
+	lat4 := m.WithNVMLatencyFactor(4).MemTimeNS(NVM, acc, PointerChase, 1)
+	if lat4/dram < 3 {
+		t.Errorf("pointer chase at 4x lat only %vx slower", lat4/dram)
+	}
+	half := m.WithNVMBandwidthFraction(0.5).MemTimeNS(NVM, acc, PointerChase, 1)
+	if half/dram > 1.2 {
+		t.Errorf("pointer chase at 1/2 bw %vx slower; chains should not care", half/dram)
+	}
+}
+
+func TestMemTimeRandomIsSensitiveToBoth(t *testing.T) {
+	m := PlatformA()
+	const acc = 1 << 20
+	dram := m.MemTimeNS(DRAM, acc, Random, 1)
+	half := m.WithNVMBandwidthFraction(0.5).MemTimeNS(NVM, acc, Random, 1)
+	lat4 := m.WithNVMLatencyFactor(4).MemTimeNS(NVM, acc, Random, 1)
+	if half/dram < 1.15 {
+		t.Errorf("random at 1/2 bw only %vx slower; should feel bandwidth", half/dram)
+	}
+	if lat4/dram < 1.5 {
+		t.Errorf("random at 4x lat only %vx slower; should feel latency", lat4/dram)
+	}
+}
+
+func TestMemTimeProperties(t *testing.T) {
+	m := PlatformA()
+	if err := quick.Check(func(acc int64, pat uint8, rf float64) bool {
+		if acc < 0 {
+			acc = -acc
+		}
+		acc %= 1 << 30
+		p := Pattern(int(pat) % 4)
+		rf = math.Mod(math.Abs(rf), 1)
+		tns := m.MemTimeNS(NVM, acc, p, rf)
+		if acc == 0 {
+			return tns == 0
+		}
+		// Monotone in access count and never negative.
+		return tns >= 0 && m.MemTimeNS(NVM, acc+1, p, rf) >= tns
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeAndCopyTime(t *testing.T) {
+	m := PlatformA()
+	if m.ComputeTimeNS(0) != 0 || m.CopyTimeNS(0) != 0 {
+		t.Error("zero work should cost zero time")
+	}
+	if m.ComputeTimeNS(m.FlopsPerSec) != 1e9 {
+		t.Error("FlopsPerSec flops should take one second")
+	}
+	if got := m.CopyTimeNS(int64(m.CopyBandwidthBps)); math.Abs(got-1e9) > 1 {
+		t.Errorf("copy of one bandwidth-second = %v ns", got)
+	}
+}
+
+func TestCopyBWTracksSlowTier(t *testing.T) {
+	m := PlatformA()
+	h := m.WithNVMBandwidthFraction(0.25)
+	if h.CopyBandwidthBps >= m.CopyBandwidthBps {
+		t.Error("degrading NVM bandwidth must degrade migration bandwidth")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table1 has %d rows, want 4", len(rows))
+	}
+	if rows[0].Name != "DRAM" {
+		t.Error("first Table1 row should be DRAM")
+	}
+	for _, r := range rows[1:] {
+		if r.ReadNSMin < rows[0].ReadNSMin {
+			t.Errorf("%s reads faster than DRAM?", r.Name)
+		}
+	}
+}
+
+func TestTechMachine(t *testing.T) {
+	base := PlatformA()
+	for _, tech := range Table1()[1:] {
+		m := TechMachine(base, tech)
+		if m.NVMSpec.ReadLatNS <= base.DRAMSpec.ReadLatNS {
+			t.Errorf("%s: NVM latency should exceed DRAM", tech.Name)
+		}
+		if m.NVMSpec.BandwidthBps > base.DRAMSpec.BandwidthBps {
+			t.Errorf("%s: NVM bandwidth should not exceed DRAM", tech.Name)
+		}
+	}
+}
+
+func TestMsgTime(t *testing.T) {
+	m := PlatformA()
+	small := m.MsgTimeNS(8)
+	big := m.MsgTimeNS(1 << 20)
+	if small < m.NetLatencyNS {
+		t.Error("message time must include latency")
+	}
+	if big <= small {
+		t.Error("bigger messages must take longer")
+	}
+}
+
+func TestTierKindString(t *testing.T) {
+	if DRAM.String() != "DRAM" || NVM.String() != "NVM" {
+		t.Error("tier names wrong")
+	}
+	if Stream.String() != "stream" || PointerChase.String() != "pointer-chase" {
+		t.Error("pattern names wrong")
+	}
+}

@@ -1,0 +1,57 @@
+package machine
+
+// TechSpec is one row of the paper's Table 1: published performance
+// characteristics of an NVM technology relative to DRAM, from the UCSD
+// non-volatile memory technology database survey the paper cites.
+type TechSpec struct {
+	Name string
+	// Read/write access times in nanoseconds (min and max of the
+	// published range; equal when the survey gives a point value).
+	ReadNSMin, ReadNSMax   float64
+	WriteNSMin, WriteNSMax float64
+	// Random read/write bandwidth in MB/s (min and max of range).
+	ReadBWMin, ReadBWMax   float64
+	WriteBWMin, WriteBWMax float64
+}
+
+// Table1 returns the paper's Table 1 verbatim: DRAM and the three NVM
+// technology points (STT-RAM per ITRS'13, PCRAM, ReRAM).
+func Table1() []TechSpec {
+	return []TechSpec{
+		{Name: "DRAM",
+			ReadNSMin: 10, ReadNSMax: 10, WriteNSMin: 10, WriteNSMax: 10,
+			ReadBWMin: 1000, ReadBWMax: 1000, WriteBWMin: 900, WriteBWMax: 900},
+		{Name: "STT-RAM (ITRS'13)",
+			ReadNSMin: 60, ReadNSMax: 60, WriteNSMin: 80, WriteNSMax: 80,
+			ReadBWMin: 800, ReadBWMax: 800, WriteBWMin: 600, WriteBWMax: 600},
+		{Name: "PCRAM",
+			ReadNSMin: 20, ReadNSMax: 200, WriteNSMin: 80, WriteNSMax: 10000,
+			ReadBWMin: 200, ReadBWMax: 800, WriteBWMin: 100, WriteBWMax: 800},
+		{Name: "ReRAM",
+			ReadNSMin: 10, ReadNSMax: 1000, WriteNSMin: 10, WriteNSMax: 10000,
+			ReadBWMin: 20, ReadBWMax: 100, WriteBWMin: 1, WriteBWMax: 8},
+	}
+}
+
+// TechMachine derives a Machine whose NVM tier approximates the given
+// technology row, scaling the base machine's DRAM numbers by the
+// technology/DRAM ratios from Table 1 (midpoints of ranges). It lets the
+// sweep experiments include named technology points alongside the synthetic
+// fraction/factor sweeps.
+func TechMachine(base *Machine, t TechSpec) *Machine {
+	mid := func(lo, hi float64) float64 { return (lo + hi) / 2 }
+	dram := Table1()[0]
+	latRatio := mid(t.ReadNSMin, t.ReadNSMax) / mid(dram.ReadNSMin, dram.ReadNSMax)
+	bwRatio := mid(t.ReadBWMin, t.ReadBWMax) / mid(dram.ReadBWMin, dram.ReadBWMax)
+	c := base.clone()
+	c.Name = base.Name + "/" + t.Name
+	c.NVMSpec.ReadLatNS = base.DRAMSpec.ReadLatNS * latRatio
+	wLatRatio := mid(t.WriteNSMin, t.WriteNSMax) / mid(dram.WriteNSMin, dram.WriteNSMax)
+	c.NVMSpec.WriteLatNS = base.DRAMSpec.WriteLatNS * wLatRatio
+	if bwRatio > 1 {
+		bwRatio = 1
+	}
+	c.NVMSpec.BandwidthBps = base.DRAMSpec.BandwidthBps * bwRatio
+	c.recomputeCopyBW()
+	return c
+}

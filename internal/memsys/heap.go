@@ -1,0 +1,409 @@
+package memsys
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"unimem/internal/machine"
+)
+
+// DefaultMaterializeCap bounds the real backing bytes per chunk so that
+// multi-gigabyte simulated objects stay runnable; kernels index into the
+// materialized prefix modulo its length.
+const DefaultMaterializeCap = 1 << 20
+
+// ObjectID identifies a registered data object within one heap (rank).
+type ObjectID int
+
+// Chunk is the unit of placement and migration. Unpartitioned objects have
+// exactly one chunk covering the whole object; partitionable objects have
+// fixed-size chunks (§3.2 "Handling large data objects").
+type Chunk struct {
+	Obj   *Object
+	Index int
+	// Size is the simulated size in bytes.
+	Size int64
+	// SimAddr is the chunk's stable simulated virtual address, used by the
+	// trace generators and counter emulation to attribute samples.
+	SimAddr int64
+
+	tier   machine.TierKind
+	offset int64 // offset within the current tier's arena
+	data   []byte
+}
+
+// Tier returns the tier the chunk currently resides in.
+func (c *Chunk) Tier() machine.TierKind { return c.tier }
+
+// Name returns "object" for single-chunk objects and "object[i]" otherwise.
+func (c *Chunk) Name() string {
+	if len(c.Obj.Chunks) == 1 {
+		return c.Obj.Name
+	}
+	return fmt.Sprintf("%s[%d]", c.Obj.Name, c.Index)
+}
+
+// Data returns the chunk's current real backing bytes (the materialized
+// prefix of the simulated extent). The slice identity changes on migration,
+// mirroring the paper's pointer-rewrite semantics.
+func (c *Chunk) Data() []byte { return c.data }
+
+// LoadF64 reads the float64 at element index i of the chunk, wrapping into
+// the materialized prefix for indices beyond it.
+func (c *Chunk) LoadF64(i int64) float64 {
+	n := int64(len(c.data)) / 8
+	if n == 0 {
+		return 0
+	}
+	off := (i % n) * 8
+	if off < 0 {
+		off += int64(len(c.data))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(c.data[off:]))
+}
+
+// StoreF64 writes the float64 at element index i, wrapping like LoadF64.
+func (c *Chunk) StoreF64(i int64, v float64) {
+	n := int64(len(c.data)) / 8
+	if n == 0 {
+		return
+	}
+	off := (i % n) * 8
+	if off < 0 {
+		off += int64(len(c.data))
+	}
+	binary.LittleEndian.PutUint64(c.data[off:], math.Float64bits(v))
+}
+
+// Object is a registered target data object (§3: allocated via
+// unimem_malloc). Its placement state is per chunk.
+type Object struct {
+	ID   ObjectID
+	Name string
+	// Size is the simulated total size in bytes.
+	Size int64
+	// Partitionable marks one-dimensional arrays with regular references
+	// that Unimem's conservative chunking rule may split.
+	Partitionable bool
+	// RefHint is the static (compiler-analysis style) per-iteration
+	// reference count estimate used for initial placement; zero means
+	// "unknown before the main loop" (e.g. convergence-dependent counts).
+	RefHint float64
+	Chunks  []*Chunk
+
+	heap *Heap
+}
+
+// BytesIn returns the number of the object's simulated bytes currently
+// resident in tier k.
+func (o *Object) BytesIn(k machine.TierKind) int64 {
+	var n int64
+	for _, c := range o.Chunks {
+		if c.tier == k {
+			n += c.Size
+		}
+	}
+	return n
+}
+
+// InDRAM reports whether the entire object resides in DRAM.
+func (o *Object) InDRAM() bool { return o.BytesIn(machine.DRAM) == o.Size }
+
+// AllocOptions configures Heap.Alloc.
+type AllocOptions struct {
+	// Partitionable marks the object as chunkable; ChunkSize then gives the
+	// chunk granularity (0 means the heap's default).
+	Partitionable bool
+	ChunkSize     int64
+	// InitialTier is where the object is first placed. The paper's default
+	// is NVM; initial data placement (§3.2) may choose DRAM.
+	InitialTier machine.TierKind
+	// RefHint is the static reference-count estimate (see Object.RefHint).
+	RefHint float64
+}
+
+// MigrationStats accumulates the migration activity of one heap; the
+// experiment harness aggregates them into the paper's Table 4.
+type MigrationStats struct {
+	Migrations     int
+	BytesMigrated  int64
+	ToDRAM, ToNVM  int
+	FailedNoSpace  int
+	PointerRewrite int
+}
+
+// Heap is the per-rank object table and placement engine. DRAM space is
+// obtained through the shared per-node service; NVM space from a private
+// arena (NVM is large, contention-free in the paper's configurations).
+type Heap struct {
+	Mach    *machine.Machine
+	dramSvc *NodeService
+	nvm     *Arena
+
+	// mu guards placement state (chunk tiers/offsets, arenas, stats): the
+	// helper thread migrates chunks concurrently with the main thread
+	// reading residency.
+	mu sync.RWMutex
+
+	objects        []*Object
+	byName         map[string]*Object
+	nextSimAddr    int64
+	materializeCap int64
+	defaultChunk   int64
+
+	Stats MigrationStats
+}
+
+// HeapOptions configures NewHeap.
+type HeapOptions struct {
+	// MaterializeCap bounds real backing bytes per chunk
+	// (default DefaultMaterializeCap). Set to a large value in examples to
+	// make all data fully real.
+	MaterializeCap int64
+	// DefaultChunkSize is used for partitionable objects whose AllocOptions
+	// leave ChunkSize zero (default 32 MiB).
+	DefaultChunkSize int64
+}
+
+// NewHeap returns a heap for one rank on a node whose DRAM is coordinated
+// by svc.
+func NewHeap(m *machine.Machine, svc *NodeService, opts HeapOptions) *Heap {
+	if opts.MaterializeCap == 0 {
+		opts.MaterializeCap = DefaultMaterializeCap
+	}
+	if opts.DefaultChunkSize == 0 {
+		opts.DefaultChunkSize = 32 << 20
+	}
+	return &Heap{
+		Mach:           m,
+		dramSvc:        svc,
+		nvm:            NewArena(m.NVMSpec.CapacityBytes),
+		byName:         make(map[string]*Object),
+		materializeCap: opts.MaterializeCap,
+		defaultChunk:   opts.DefaultChunkSize,
+		nextSimAddr:    1 << 12, // skip the simulated null page
+	}
+}
+
+// DRAMService returns the node DRAM coordination service.
+func (h *Heap) DRAMService() *NodeService { return h.dramSvc }
+
+// Objects returns the registered objects in allocation order.
+func (h *Heap) Objects() []*Object { return h.objects }
+
+// Lookup returns the object with the given name, or nil.
+func (h *Heap) Lookup(name string) *Object { return h.byName[name] }
+
+// Alloc registers a data object of size simulated bytes and places its
+// chunks in opts.InitialTier (falling back to NVM if DRAM is full, which
+// matches the runtime's NVM-by-default policy).
+func (h *Heap) Alloc(name string, size int64, opts AllocOptions) (*Object, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if size <= 0 {
+		return nil, fmt.Errorf("memsys: object %q has invalid size %d", name, size)
+	}
+	if _, dup := h.byName[name]; dup {
+		return nil, fmt.Errorf("memsys: object %q already allocated", name)
+	}
+	o := &Object{
+		ID:            ObjectID(len(h.objects)),
+		Name:          name,
+		Size:          size,
+		Partitionable: opts.Partitionable,
+		RefHint:       opts.RefHint,
+		heap:          h,
+	}
+	chunkSize := size
+	if opts.Partitionable {
+		chunkSize = opts.ChunkSize
+		if chunkSize == 0 {
+			chunkSize = h.defaultChunk
+		}
+		if chunkSize > size {
+			chunkSize = size
+		}
+	}
+	for off := int64(0); off < size; off += chunkSize {
+		cs := chunkSize
+		if off+cs > size {
+			cs = size - off
+		}
+		c := &Chunk{
+			Obj:     o,
+			Index:   len(o.Chunks),
+			Size:    cs,
+			SimAddr: h.nextSimAddr,
+		}
+		h.nextSimAddr += cs
+		mat := cs
+		if mat > h.materializeCap {
+			mat = h.materializeCap
+		}
+		c.data = make([]byte, mat)
+		if err := h.place(c, opts.InitialTier); err != nil {
+			if opts.InitialTier == machine.DRAM {
+				// DRAM full: fall back to NVM.
+				if err2 := h.place(c, machine.NVM); err2 != nil {
+					return nil, err2
+				}
+			} else {
+				return nil, err
+			}
+		}
+		o.Chunks = append(o.Chunks, c)
+	}
+	h.objects = append(h.objects, o)
+	h.byName[name] = o
+	return o, nil
+}
+
+// place reserves tier space for a chunk that currently owns none.
+func (h *Heap) place(c *Chunk, k machine.TierKind) error {
+	switch k {
+	case machine.DRAM:
+		off, err := h.dramSvc.Alloc(c.Size)
+		if err != nil {
+			return err
+		}
+		c.tier, c.offset = machine.DRAM, off
+	case machine.NVM:
+		off, err := h.nvm.Alloc(c.Size)
+		if err != nil {
+			return err
+		}
+		c.tier, c.offset = machine.NVM, off
+	default:
+		return fmt.Errorf("memsys: unknown tier %v", k)
+	}
+	return nil
+}
+
+// release returns the chunk's current tier reservation.
+func (h *Heap) release(c *Chunk) {
+	switch c.tier {
+	case machine.DRAM:
+		h.dramSvc.Free(c.offset, c.Size)
+	case machine.NVM:
+		h.nvm.Free(c.offset, c.Size)
+	}
+}
+
+// Free releases every chunk of the object and removes it from the table.
+func (h *Heap) Free(o *Object) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.byName[o.Name] != o {
+		panic(fmt.Sprintf("memsys: freeing unknown object %q", o.Name))
+	}
+	for _, c := range o.Chunks {
+		h.release(c)
+		c.data = nil
+	}
+	delete(h.byName, o.Name)
+	for i, oo := range h.objects {
+		if oo == o {
+			h.objects = append(h.objects[:i], h.objects[i+1:]...)
+			break
+		}
+	}
+}
+
+// MoveChunk migrates the chunk to tier k: reserves space in the target
+// tier, copies the real backing bytes into a fresh buffer (the pointer
+// rewrite the runtime performs on behalf of the application), and releases
+// the old reservation. It returns the simulated bytes moved (0 if already
+// resident) or ErrNoSpace if the target tier cannot hold the chunk.
+func (h *Heap) MoveChunk(c *Chunk, k machine.TierKind) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c.tier == k {
+		return 0, nil
+	}
+	oldTier, oldOff := c.tier, c.offset
+	if err := h.place(c, k); err != nil {
+		c.tier, c.offset = oldTier, oldOff
+		h.Stats.FailedNoSpace++
+		return 0, err
+	}
+	// Real copy into the new residence; the old buffer becomes garbage,
+	// which is exactly the lifetime the runtime's pointer update implies.
+	newData := make([]byte, len(c.data))
+	copy(newData, c.data)
+	c.data = newData
+	h.Stats.PointerRewrite++
+	switch oldTier {
+	case machine.DRAM:
+		h.dramSvc.Free(oldOff, c.Size)
+	case machine.NVM:
+		h.nvm.Free(oldOff, c.Size)
+	}
+	h.Stats.Migrations++
+	h.Stats.BytesMigrated += c.Size
+	if k == machine.DRAM {
+		h.Stats.ToDRAM++
+	} else {
+		h.Stats.ToNVM++
+	}
+	return c.Size, nil
+}
+
+// MoveObject migrates every chunk of the object to tier k, stopping at the
+// first failure. It returns the simulated bytes moved.
+func (h *Heap) MoveObject(o *Object, k machine.TierKind) (int64, error) {
+	var moved int64
+	for _, c := range o.Chunks {
+		n, err := h.MoveChunk(c, k)
+		moved += n
+		if err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// TierOf returns the chunk's current tier under the placement lock; use it
+// instead of Chunk.Tier when the helper thread may be migrating.
+func (h *Heap) TierOf(c *Chunk) machine.TierKind {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return c.tier
+}
+
+// ResidencySnapshot returns chunk name -> DRAM residency for every chunk,
+// taken atomically under the placement lock.
+func (h *Heap) ResidencySnapshot() map[string]bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make(map[string]bool)
+	for _, o := range h.objects {
+		for _, c := range o.Chunks {
+			out[c.Name()] = c.tier == machine.DRAM
+		}
+	}
+	return out
+}
+
+// StatsSnapshot returns a copy of the migration statistics under the lock.
+func (h *Heap) StatsSnapshot() MigrationStats {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.Stats
+}
+
+// NVMUsed returns bytes currently allocated in this rank's NVM arena.
+func (h *Heap) NVMUsed() int64 { return h.nvm.Used() }
+
+// ChunkAt returns the chunk containing the simulated address, or nil.
+func (h *Heap) ChunkAt(addr int64) *Chunk {
+	for _, o := range h.objects {
+		for _, c := range o.Chunks {
+			if addr >= c.SimAddr && addr < c.SimAddr+c.Size {
+				return c
+			}
+		}
+	}
+	return nil
+}

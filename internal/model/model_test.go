@@ -1,0 +1,221 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"unimem/internal/counters"
+	"unimem/internal/machine"
+)
+
+func calibrated(m *machine.Machine) Config {
+	c := DefaultThresholds()
+	c.Apply(Calibrate(m, counters.Default(), 7))
+	return c
+}
+
+// sample fabricates a counter view of an object with the given ground
+// truth, as the harness+sampler would produce it (no jitter, exact capture
+// ratio, for deterministic assertions).
+func sample(m *machine.Machine, acc int64, pat machine.Pattern, tier machine.TierKind, durNS float64) (counters.ObjSample, *counters.PhaseSample) {
+	svc := m.MemTimeNS(tier, acc, pat, 1)
+	total := int64(durNS / m.SamplePeriodNS())
+	busy := int64(svc / durNS * float64(total))
+	if busy > total {
+		busy = total
+	}
+	s := counters.ObjSample{
+		Chunk: "o", Object: "o",
+		SampledAccesses: int64(0.8 * float64(acc)),
+		BusySamples:     busy,
+		ReadFrac:        1,
+		Pattern:         pat,
+	}
+	return s, &counters.PhaseSample{DurNS: durNS, TotalSamples: total, Objects: []counters.ObjSample{s}}
+}
+
+func TestCalibrationFactors(t *testing.T) {
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	cal := Calibrate(m, counters.Default(), 7)
+	// Capture ratio 0.8 means CF ~= 1/0.8 = 1.25 plus model slack.
+	if cal.CFBw < 1.1 || cal.CFBw > 1.5 {
+		t.Errorf("CF_bw = %v, want ~1.25", cal.CFBw)
+	}
+	if cal.CFLat < 1.1 || cal.CFLat > 1.6 {
+		t.Errorf("CF_lat = %v, want ~1.3", cal.CFLat)
+	}
+	// BW_peak is the sampled view of NVM stream bandwidth: below raw tier
+	// bandwidth, well above zero.
+	if cal.BWPeakBps > m.NVMSpec.BandwidthBps || cal.BWPeakBps < 0.5*m.NVMSpec.BandwidthBps {
+		t.Errorf("BW_peak = %v vs tier %v", cal.BWPeakBps, m.NVMSpec.BandwidthBps)
+	}
+}
+
+func TestCalibrationDeterministic(t *testing.T) {
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	a := Calibrate(m, counters.Default(), 7)
+	b := Calibrate(m, counters.Default(), 7)
+	if a != b {
+		t.Fatal("calibration must be deterministic per seed")
+	}
+}
+
+func TestClassifyThresholds(t *testing.T) {
+	c := Config{T1: 80, T2: 10, BWPeakBps: 10e9}
+	if c.Classify(9e9) != BandwidthBound {
+		t.Error("90% of peak should be bandwidth-bound")
+	}
+	if c.Classify(0.5e9) != LatencyBound {
+		t.Error("5% of peak should be latency-bound")
+	}
+	if c.Classify(5e9) != Mixed {
+		t.Error("50% of peak should be mixed")
+	}
+	if Mixed.String() != "mixed" || BandwidthBound.String() != "bandwidth" || LatencyBound.String() != "latency" {
+		t.Error("sensitivity names wrong")
+	}
+}
+
+func TestEq1StreamNearTierBandwidth(t *testing.T) {
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	svc := m.MemTimeNS(machine.NVM, 1<<21, machine.Stream, 1)
+	s, ps := sample(m, 1<<21, machine.Stream, machine.NVM, svc*1.25)
+	bw := ConsumedBWBps(s, ps)
+	// Sampled bandwidth = capture x consumed; the stream consumes ~tier bw.
+	want := 0.8 * m.NVMSpec.BandwidthBps
+	if math.Abs(bw-want)/want > 0.15 {
+		t.Fatalf("Eq.1 stream bw = %v, want ~%v", bw, want)
+	}
+}
+
+func TestEq1PointerChaseTiny(t *testing.T) {
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	svc := m.MemTimeNS(machine.NVM, 1<<17, machine.PointerChase, 1)
+	s, ps := sample(m, 1<<17, machine.PointerChase, machine.NVM, svc*1.25)
+	bw := ConsumedBWBps(s, ps)
+	if bw > 0.1*m.NVMSpec.BandwidthBps {
+		t.Fatalf("pointer chase consumed bw %v should be far below tier bw", bw)
+	}
+}
+
+func TestClassificationEndToEnd(t *testing.T) {
+	// The 4x-latency machine separates the three regimes crisply (at 1/2
+	// bandwidth a pointer chase sits right at the t2 boundary, which is
+	// fine — Mixed prices it with max(Eq.2, Eq.3) anyway).
+	m := machine.PlatformA().WithNVMLatencyFactor(4)
+	cfg := calibrated(m)
+	cases := []struct {
+		pat  machine.Pattern
+		want Sensitivity
+	}{
+		{machine.Stream, BandwidthBound},
+		{machine.PointerChase, LatencyBound},
+		{machine.Random, Mixed},
+	}
+	for _, tc := range cases {
+		s, ps := sample(m, 1<<20, tc.pat, machine.NVM, 0)
+		ps.DurNS = m.MemTimeNS(machine.NVM, 1<<20, tc.pat, 1) * 1.3 // mostly-memory phase
+		ps.TotalSamples = int64(ps.DurNS / m.SamplePeriodNS())
+		s.BusySamples = int64(float64(ps.TotalSamples) / 1.3)
+		est := cfg.EstimateChunk(m, s, ps, machine.NVM)
+		if est.Sens != tc.want {
+			t.Errorf("%v classified %v, want %v (bw=%.2fGB/s peak=%.2f)",
+				tc.pat, est.Sens, tc.want, est.BWBps/1e9, cfg.BWPeakBps/1e9)
+		}
+	}
+}
+
+func TestBenefitAccuracy(t *testing.T) {
+	// The calibrated model's predicted benefit should approximate the
+	// machine model's true NVM->DRAM delta within ~35% for every pattern.
+	for _, knob := range []string{"bw", "lat"} {
+		var m *machine.Machine
+		if knob == "bw" {
+			m = machine.PlatformA().WithNVMBandwidthFraction(0.5)
+		} else {
+			m = machine.PlatformA().WithNVMLatencyFactor(4)
+		}
+		cfg := calibrated(m)
+		for _, pat := range []machine.Pattern{machine.Stream, machine.Random, machine.PointerChase} {
+			const acc = 1 << 20
+			s, ps := sample(m, acc, pat, machine.NVM, 0)
+			ps.DurNS = m.MemTimeNS(machine.NVM, acc, pat, 1) * 1.5
+			ps.TotalSamples = int64(ps.DurNS / m.SamplePeriodNS())
+			s.BusySamples = int64(float64(ps.TotalSamples) / 1.5)
+			est := cfg.EstimateChunk(m, s, ps, machine.NVM)
+			nvmT := m.MemTimeNS(machine.NVM, acc, pat, 1)
+			truth := nvmT - m.MemTimeNS(machine.DRAM, acc, pat, 1)
+			if truth < 0.15*nvmT {
+				// Insignificant true benefit (e.g. streams under the
+				// latency knob, whose ~12% residual delta Eq. 2 cannot see
+				// because tier bandwidths are equal — a structural
+				// limitation of the paper's lightweight model): only
+				// require the model not to invent one.
+				if est.BenefitNS > 0.3*ps.DurNS {
+					t.Errorf("%s/%v: predicted %v ns benefit where truth ~0", knob, pat, est.BenefitNS)
+				}
+				continue
+			}
+			ratio := est.BenefitNS / truth
+			if ratio < 0.5 || ratio > 1.6 {
+				t.Errorf("%s/%v: benefit ratio pred/true = %v", knob, pat, ratio)
+			}
+		}
+	}
+}
+
+func TestObservedMLP(t *testing.T) {
+	m := machine.PlatformA()
+	for _, tc := range []struct {
+		pat      machine.Pattern
+		min, max float64
+	}{
+		// Ranges account for the sampler's 0.8 capture ratio inflating the
+		// apparent per-access service time.
+		{machine.PointerChase, 1, 1.8},
+		{machine.Random, 4, 13},
+		{machine.Stream, 30, 512},
+	} {
+		s, ps := sample(m, 1<<20, tc.pat, machine.NVM, 0)
+		ps.DurNS = m.MemTimeNS(machine.NVM, 1<<20, tc.pat, 1)
+		ps.TotalSamples = int64(ps.DurNS / m.SamplePeriodNS())
+		s.BusySamples = ps.TotalSamples
+		mlp := ObservedMLP(m, s, ps, machine.NVM)
+		if mlp < tc.min || mlp > tc.max {
+			t.Errorf("%v observed MLP %v, want [%v,%v]", tc.pat, mlp, tc.min, tc.max)
+		}
+	}
+}
+
+func TestMoveCost(t *testing.T) {
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	raw := m.CopyTimeNS(64 << 20)
+	if got := MoveCostNS(m, 64<<20, 0); got != raw {
+		t.Errorf("unoverlapped cost %v, want %v", got, raw)
+	}
+	if got := MoveCostNS(m, 64<<20, raw/2); math.Abs(got-raw/2) > 1 {
+		t.Errorf("half-overlapped cost %v, want %v", got, raw/2)
+	}
+	if got := MoveCostNS(m, 64<<20, raw*2); got != 0 {
+		t.Errorf("fully overlapped cost %v, want 0 (Eq. 4 max)", got)
+	}
+}
+
+func TestBenefitNonNegative(t *testing.T) {
+	// A DRAM-parity machine has zero benefit everywhere; Eq. 2/3 must not
+	// go negative.
+	m := machine.PlatformA()
+	cfg := calibrated(machine.PlatformA().WithNVMBandwidthFraction(0.5))
+	s, ps := sample(m, 1<<20, machine.Stream, machine.NVM, 1e7)
+	est := cfg.EstimateChunk(m, s, ps, machine.NVM)
+	if est.BenefitNS < 0 {
+		t.Fatalf("negative benefit %v", est.BenefitNS)
+	}
+}
+
+func TestCalibrationString(t *testing.T) {
+	cal := Calibration{CFBw: 1.25, CFLat: 1.33, BWPeakBps: 5e9}
+	if cal.String() == "" {
+		t.Fatal("empty calibration string")
+	}
+}

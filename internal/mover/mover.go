@@ -1,0 +1,208 @@
+// Package mover implements Unimem's proactive data movement mechanism
+// (§3.1.2 "Calculation of data movement cost" and §3.3): a helper thread —
+// a real goroutine — that runs in parallel with the application, consuming
+// migration requests from a shared FIFO queue, performing the actual byte
+// copies between tiers, and serving as the synchronization point the main
+// thread checks at the beginning of each phase.
+//
+// Time accounting is in virtual nanoseconds: a migration occupies the
+// helper thread for the machine's copy time, starting no earlier than both
+// its enqueue point and the helper's previous completion. The portion of a
+// migration not finished by the time the main thread needs it is the
+// exposed (non-overlapped) cost — Eq. 4's COST after overlap.
+package mover
+
+import (
+	"sync"
+
+	"unimem/internal/machine"
+	"unimem/internal/memsys"
+)
+
+// Request asks the helper thread to migrate one chunk.
+type Request struct {
+	Chunk *memsys.Chunk
+	To    machine.TierKind
+	// EnqueueNS is the main thread's virtual time at enqueue (the earliest
+	// the copy may begin).
+	EnqueueNS int64
+	seq       uint64
+}
+
+// Completion records a finished (or failed) migration.
+type Completion struct {
+	Req        Request
+	StartNS    int64
+	EndNS      int64
+	BytesMoved int64
+	Err        error
+}
+
+// Stats aggregates the mover's activity for Table 4.
+type Stats struct {
+	Enqueued   int
+	Completed  int
+	Failed     int
+	BytesMoved int64
+	// CopyNS is the total virtual time spent copying.
+	CopyNS float64
+	// ExposedNS is the total virtual stall charged to the main thread at
+	// sync points (the non-overlapped migration cost).
+	ExposedNS float64
+	// SyncChecks counts queue-status checks (each costs SyncCheckNS on the
+	// main thread's critical path; part of "pure runtime cost").
+	SyncChecks int
+}
+
+// OverlapFrac returns the fraction of copy time hidden by computation.
+func (s Stats) OverlapFrac() float64 {
+	if s.CopyNS <= 0 {
+		return 1
+	}
+	f := 1 - s.ExposedNS/s.CopyNS
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// SyncCheckNS is the main-thread cost of one queue-status check.
+const SyncCheckNS = 200
+
+// Mover owns the helper thread for one rank.
+type Mover struct {
+	heap *memsys.Heap
+	reqs chan Request
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	freeAtNS    int64 // helper's virtual availability
+	nextSeq     uint64
+	doneSeq     uint64
+	completions map[uint64]Completion
+	stats       Stats
+	running     bool
+	wg          sync.WaitGroup
+}
+
+// New returns a mover for the heap. Start must be called before Enqueue.
+func New(h *memsys.Heap) *Mover {
+	m := &Mover{
+		heap:        h,
+		reqs:        make(chan Request, 256),
+		completions: make(map[uint64]Completion),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Start launches the helper thread (invoked from unimem_init in the paper).
+func (m *Mover) Start() {
+	m.mu.Lock()
+	if m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = true
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go m.run()
+}
+
+// Stop drains the queue and terminates the helper thread.
+func (m *Mover) Stop() {
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = false
+	m.mu.Unlock()
+	close(m.reqs)
+	m.wg.Wait()
+}
+
+// run is the helper thread's loop: pop a request, perform the real copy,
+// account virtual time, post the completion.
+func (m *Mover) run() {
+	defer m.wg.Done()
+	for req := range m.reqs {
+		bytes, err := m.heap.MoveChunk(req.Chunk, req.To)
+
+		m.mu.Lock()
+		start := req.EnqueueNS
+		if m.freeAtNS > start {
+			start = m.freeAtNS
+		}
+		var end int64
+		if err != nil {
+			end = start // failed moves occupy no copy time
+			m.stats.Failed++
+		} else {
+			copyNS := m.heap.Mach.CopyTimeNS(bytes)
+			end = start + int64(copyNS)
+			m.stats.CopyNS += copyNS
+			m.stats.Completed++
+			m.stats.BytesMoved += bytes
+		}
+		m.freeAtNS = end
+		m.completions[req.seq] = Completion{Req: req, StartNS: start, EndNS: end, BytesMoved: bytes, Err: err}
+		m.doneSeq = req.seq
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// Enqueue posts a migration request at the main thread's virtual time nowNS
+// and returns a ticket to wait on. The put itself is lightweight (paper:
+// "checking the queue status and putting data movement requests into the
+// queue is lightweight").
+func (m *Mover) Enqueue(c *memsys.Chunk, to machine.TierKind, nowNS int64) uint64 {
+	m.mu.Lock()
+	m.nextSeq++
+	seq := m.nextSeq
+	m.stats.Enqueued++
+	m.mu.Unlock()
+	m.reqs <- Request{Chunk: c, To: to, EnqueueNS: nowNS, seq: seq}
+	return seq
+}
+
+// Sync blocks (in real time) until all requests up to and including seq
+// have been processed, then returns the virtual stall the main thread
+// suffers at virtual time nowNS: how far the last relevant completion lies
+// in the virtual future. A fully overlapped migration returns 0.
+//
+// Pass seq 0 to just perform the per-phase queue-status check (which still
+// costs SyncCheckNS on the critical path).
+func (m *Mover) Sync(seq uint64, nowNS int64) (stallNS int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.SyncChecks++
+	for m.doneSeq < seq {
+		m.cond.Wait()
+	}
+	var latest int64
+	for s := seq; s > 0; s-- {
+		c, ok := m.completions[s]
+		if !ok {
+			break
+		}
+		if c.EndNS > latest {
+			latest = c.EndNS
+		}
+		delete(m.completions, s)
+	}
+	if latest > nowNS {
+		stall := latest - nowNS
+		m.stats.ExposedNS += float64(stall)
+		return stall
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the mover's accounting.
+func (m *Mover) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,78 @@
+// Package placement implements Unimem's data placement decision (§3.1.3):
+// per-object weights w = BFT - COST - extraCOST (Eq. 5), the 0-1 knapsack
+// over DRAM capacity solved with dynamic programming, the two search
+// strategies — phase-local and cross-phase global — and the construction of
+// the proactive migration schedule the helper thread executes.
+package placement
+
+// Item is one knapsack candidate: a chunk with its size and Eq. 5 weight.
+type Item struct {
+	Chunk    string
+	Size     int64
+	WeightNS float64
+}
+
+// knapGranularity is the size quantum of the DP table. 1 MiB keeps the
+// table small (DRAM capacities are hundreds of MiB) while being much finer
+// than any target object.
+const knapGranularity = 1 << 20
+
+// Knapsack solves the 0-1 knapsack: choose a subset of items maximizing
+// total weight with total size <= capacity. Items with non-positive weight
+// are never chosen (placing them has no predicted value). It returns the
+// indices of chosen items (ascending) and the total weight.
+func Knapsack(items []Item, capacity int64) ([]int, float64) {
+	if capacity <= 0 || len(items) == 0 {
+		return nil, 0
+	}
+	cap := int(capacity / knapGranularity)
+	if cap == 0 {
+		return nil, 0
+	}
+	type cand struct {
+		idx  int
+		size int // in granules, rounded up
+		w    float64
+	}
+	var cands []cand
+	for i, it := range items {
+		if it.WeightNS <= 0 || it.Size <= 0 {
+			continue
+		}
+		sz := int((it.Size + knapGranularity - 1) / knapGranularity)
+		if sz > cap {
+			continue
+		}
+		cands = append(cands, cand{idx: i, size: sz, w: it.WeightNS})
+	}
+	if len(cands) == 0 {
+		return nil, 0
+	}
+	// dp[c] is the best weight using capacity c; take[k][c] records whether
+	// candidate k is chosen at capacity c on the optimal path.
+	dp := make([]float64, cap+1)
+	take := make([][]bool, len(cands))
+	for k, cd := range cands {
+		take[k] = make([]bool, cap+1)
+		for c := cap; c >= cd.size; c-- {
+			if v := dp[c-cd.size] + cd.w; v > dp[c] {
+				dp[c] = v
+				take[k][c] = true
+			}
+		}
+	}
+	// Reconstruct.
+	var chosen []int
+	c := cap
+	for k := len(cands) - 1; k >= 0; k-- {
+		if take[k][c] {
+			chosen = append(chosen, cands[k].idx)
+			c -= cands[k].size
+		}
+	}
+	// Reverse into ascending index order.
+	for i, j := 0, len(chosen)-1; i < j; i, j = i+1, j-1 {
+		chosen[i], chosen[j] = chosen[j], chosen[i]
+	}
+	return chosen, dp[cap]
+}

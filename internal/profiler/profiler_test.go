@@ -1,0 +1,86 @@
+package profiler
+
+import (
+	"testing"
+
+	"unimem/internal/machine"
+	"unimem/internal/workloads"
+)
+
+// TestAnalyticModelAgreesWithCache replays the CG and MG reference streams
+// through the LLC simulator and checks that the workloads' declared
+// post-cache access counts agree with real cache behaviour within a factor
+// of 2 for every significant stream/stencil object. (Pointer chases over
+// huge objects agree trivially; small cache-resident objects sit on the
+// attenuation floor and are excluded via the minDeclared threshold.)
+func TestAnalyticModelAgreesWithCache(t *testing.T) {
+	for _, w := range []*workloads.Workload{
+		workloads.NewCG("C", 4),
+		workloads.NewMG("C", 4),
+	} {
+		rep, err := Validate(w, Options{SampleRefs: 1 << 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Checks) == 0 {
+			t.Fatalf("%s: no checks produced", w.Name)
+		}
+		llc2x := int64(40 << 20)
+		for _, c := range rep.Checks {
+			if c.DeclaredAccesses < 200_000 {
+				continue
+			}
+			if c.Pattern == machine.Random || c.Pattern == machine.PointerChase {
+				// Irregular patterns' miss ratios depend on replay length
+				// vs. set conflicts; the stream/stencil agreement is the
+				// load-bearing check (they carry the bandwidth model).
+				continue
+			}
+			if w.Object(c.Object).Size <= llc2x {
+				// Cache-resident objects sit on the analytic attenuation
+				// floor, and comm buffers deliberately declare full
+				// (no-reuse) traffic because they carry fresh data every
+				// iteration — both regimes where the analytic model
+				// intentionally departs from a pure trace replay.
+				continue
+			}
+			if r := c.Ratio(); r < 0.5 || r > 2.0 {
+				t.Errorf("%s/%s/%s (%v): measured/declared = %.2f",
+					w.Name, c.Phase, c.Object, c.Pattern, r)
+			}
+		}
+	}
+}
+
+// TestWorstDeviationReported checks the report helper.
+func TestWorstDeviationReported(t *testing.T) {
+	rep := &Report{Checks: []ObjectCheck{
+		{Object: "close", DeclaredAccesses: 1e6, MeasuredMisses: 1.05e6},
+		{Object: "far", DeclaredAccesses: 1e6, MeasuredMisses: 3e6},
+		{Object: "tiny", DeclaredAccesses: 10, MeasuredMisses: 100},
+	}}
+	worst, dev := rep.Worst(1000)
+	if worst.Object != "far" {
+		t.Fatalf("worst = %s", worst.Object)
+	}
+	if dev < 1.9 || dev > 2.1 {
+		t.Fatalf("deviation %v", dev)
+	}
+}
+
+// TestNominalRefsInverse checks the attenuation inversion.
+func TestNominalRefsInverse(t *testing.T) {
+	llc := int64(20 << 20)
+	size := int64(120 << 20)
+	att := float64(size-llc) / float64(size)
+	declared := int64(1e6)
+	nom := nominalRefs(declared, size, llc, machine.Random)
+	back := int64(float64(nom) * att)
+	if diff := back - declared; diff < -2 || diff > 2 {
+		t.Fatalf("inversion off by %d", diff)
+	}
+	// Floor case.
+	if nominalRefs(100, 1<<20, llc, machine.Random) != 2000 {
+		t.Fatalf("floored inversion = %d", nominalRefs(100, 1<<20, llc, machine.Random))
+	}
+}

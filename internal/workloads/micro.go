@@ -1,0 +1,68 @@
+package workloads
+
+// NewSTREAM builds the STREAM bandwidth microbenchmark (McCalpin) used by
+// the paper to measure BW_peak and calibrate CF_bw: the copy/scale/add/
+// triad kernels streaming three large arrays with maximum concurrency.
+func NewSTREAM(ranks int) *Workload {
+	b := newBench("STREAM", "C", ranks, 20, 1.0)
+	b.obj("sa", 64, false)
+	b.obj("sb", 64, false)
+	b.obj("sc", 64, false)
+	b.phase("copy", CommNone, 0, 0, b.rsFull("sc", 1, 1), b.rsFull("sa", 1, 0))
+	b.phase("scale", CommNone, 0, 8, b.rsFull("sb", 1, 1), b.rsFull("sc", 1, 0))
+	b.phase("add", CommNone, 0, 8,
+		b.rsFull("sc", 1, 1), b.rsFull("sa", 1, 0), b.rsFull("sb", 1, 0))
+	b.phase("triad", CommBarrier, 0, 16,
+		b.rsFull("sa", 1, 1), b.rsFull("sb", 1, 0), b.rsFull("sc", 1, 0))
+	return b.finish()
+}
+
+// NewPointerChase builds the pChase microbenchmark (Besard) used to
+// calibrate CF_lat: a single dependent chain through a large array, one
+// thread, no concurrent memory accesses.
+func NewPointerChase(ranks int) *Workload {
+	b := newBench("pChase", "C", ranks, 10, 1.0)
+	b.obj("chain", 256, false)
+	b.phase("chase", CommNone, 0, 0, b.rp("chain", 2, 0))
+	b.phase("sync", CommBarrier, 0, 0)
+	return b.finish()
+}
+
+// NPBName lists the six NPB kernels in the paper's presentation order.
+var NPBNames = []string{"CG", "FT", "BT", "LU", "SP", "MG"}
+
+// NewNPB builds the named NPB kernel.
+func NewNPB(name, class string, ranks int) *Workload {
+	switch name {
+	case "CG":
+		return NewCG(class, ranks)
+	case "FT":
+		return NewFT(class, ranks)
+	case "BT":
+		return NewBT(class, ranks)
+	case "LU":
+		return NewLU(class, ranks)
+	case "SP":
+		return NewSP(class, ranks)
+	case "MG":
+		return NewMG(class, ranks)
+	default:
+		panic("workloads: unknown NPB benchmark " + name)
+	}
+}
+
+// EvalSuite returns the paper's full evaluation set: the six NPB kernels
+// (FT at Class C regardless of the requested class, per §2.2/§5) plus
+// Nek5000.
+func EvalSuite(class string, ranks int) []*Workload {
+	out := make([]*Workload, 0, 7)
+	for _, n := range NPBNames {
+		c := class
+		if n == "FT" && class == "D" {
+			c = "C" // the paper runs FT at Class C (Class D too slow)
+		}
+		out = append(out, NewNPB(n, c, ranks))
+	}
+	out = append(out, NewNek5000(class, ranks))
+	return out
+}

@@ -1,0 +1,148 @@
+// Package workloads defines the benchmark applications of the paper's
+// evaluation — the six NAS Parallel Benchmarks (CG, FT, BT, LU, SP, MG),
+// the Nek5000 eddy production proxy, and the STREAM / pointer-chasing
+// calibration microbenchmarks — as phase-structured iterative MPI programs
+// with the paper's Table 3 target-object inventories.
+//
+// A workload describes, per phase and per iteration, the ground-truth
+// post-LLC traffic each target object generates on one rank (count,
+// read/write mix, access pattern). The execution harness turns those
+// descriptors into virtual time through the machine model and into sampled
+// counter profiles through the counters emulation; the Unimem runtime sees
+// only the latter, exactly as it would on hardware.
+package workloads
+
+import (
+	"unimem/internal/machine"
+	"unimem/internal/phase"
+)
+
+// ObjectSpec declares one target data object (paper Table 3).
+type ObjectSpec struct {
+	Name string
+	// Size is the per-rank simulated size in bytes.
+	Size int64
+	// Partitionable marks 1-D arrays with regular references that the
+	// runtime's conservative chunking rule may split (§3.2).
+	Partitionable bool
+	// RefHint is the static per-iteration reference-count estimate the
+	// compiler analysis would produce for initial placement; 0 means the
+	// count is not statically known before the main loop.
+	RefHint float64
+}
+
+// CommKind enumerates the MPI operations the workloads use.
+type CommKind int
+
+const (
+	// CommNone marks a pure computation phase.
+	CommNone CommKind = iota
+	// CommAllreduce is an allreduce of Phase.CommBytes per rank.
+	CommAllreduce
+	// CommHalo is a ring halo exchange (SendRecv with both neighbours) of
+	// Phase.CommBytes per direction.
+	CommHalo
+	// CommAlltoall is a personalized all-to-all of Phase.CommBytes per
+	// rank pair.
+	CommAlltoall
+	// CommBcast broadcasts Phase.CommBytes.
+	CommBcast
+	// CommBarrier is a barrier.
+	CommBarrier
+	// CommWaitHalo is the completion (MPI_Wait) of a previously posted
+	// non-blocking halo exchange; per §2.1 the Isend/Irecv themselves are
+	// merged into the preceding phase and only the Wait is a phase.
+	CommWaitHalo
+)
+
+// String returns the MPI operation name used for phase identification.
+func (k CommKind) String() string {
+	switch k {
+	case CommNone:
+		return ""
+	case CommAllreduce:
+		return "Allreduce"
+	case CommHalo:
+		return "SendRecv"
+	case CommAlltoall:
+		return "Alltoall"
+	case CommBcast:
+		return "Bcast"
+	case CommBarrier:
+		return "Barrier"
+	case CommWaitHalo:
+		return "Wait"
+	default:
+		return "?"
+	}
+}
+
+// Phase describes one phase of the iteration body.
+type Phase struct {
+	Name string
+	Kind phase.Kind
+	// Comm and CommBytes describe the MPI operation of a communication
+	// phase (CommNone for computation phases).
+	Comm      CommKind
+	CommBytes int64
+	// Flops is the per-rank floating-point work of the phase.
+	Flops float64
+	// Refs returns the per-rank ground-truth main-memory traffic for
+	// the given iteration. Most workloads are iteration-invariant;
+	// Nek5000's pattern drift uses iter.
+	Refs func(iter int) []phase.Ref
+}
+
+// Workload is a phase-structured iterative MPI application.
+type Workload struct {
+	Name  string
+	Class string
+	// Ranks the workload was sized for (object sizes are per-rank and
+	// already account for domain decomposition at this scale).
+	Ranks      int
+	Iterations int
+	Objects    []ObjectSpec
+	Phases     []Phase
+	// FootprintFrac is the fraction of total application memory footprint
+	// covered by the target objects (paper Table 3 last column).
+	FootprintFrac float64
+}
+
+// Object returns the spec with the given name, or nil.
+func (w *Workload) Object(name string) *ObjectSpec {
+	for i := range w.Objects {
+		if w.Objects[i].Name == name {
+			return &w.Objects[i]
+		}
+	}
+	return nil
+}
+
+// TotalObjectBytes returns the summed per-rank size of all target objects.
+func (w *Workload) TotalObjectBytes() int64 {
+	var n int64
+	for _, o := range w.Objects {
+		n += o.Size
+	}
+	return n
+}
+
+// staticRefs wraps an iteration-invariant ref list.
+func staticRefs(refs []phase.Ref) func(int) []phase.Ref {
+	return func(int) []phase.Ref { return refs }
+}
+
+// MiB converts mebibytes to bytes.
+func MiB(n float64) int64 { return int64(n * (1 << 20)) }
+
+// accStream returns the post-LLC access count for s streaming passes over
+// an object of size bytes: every cache line misses once per pass.
+func accStream(size int64, passes float64) int64 {
+	return int64(float64(size/machine.CacheLineBytes) * passes)
+}
+
+// accSparse returns the post-LLC access count for n irregular references
+// with the given miss ratio.
+func accSparse(n float64, missRatio float64) int64 {
+	return int64(n * missRatio)
+}

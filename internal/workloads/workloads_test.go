@@ -1,0 +1,243 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"unimem/internal/machine"
+)
+
+// table3 lists the paper's Table 3 object inventories.
+var table3 = map[string][]string{
+	"CG": {"col_idx", "a", "w", "z", "p", "q", "r", "rowstr", "x"},
+	"FT": {"u", "u0", "u1", "u2", "twiddle"},
+	"BT": {"rhs", "forcing", "u", "us", "vs", "ws", "qs", "rho_i", "square",
+		"out_buffer", "in_buffer", "fjac", "njac", "lhsa", "lhsb", "lhsc"},
+	"LU": {"u", "rsd", "frct", "flux", "a", "b", "c", "d", "buf", "buf1"},
+	"SP": {"u", "us", "vs", "ws", "qs", "rho_i", "square", "rhs", "forcing",
+		"out_buffer", "in_buffer", "lhs"},
+	"MG": {"buff", "u", "v", "r"},
+}
+
+func TestTable3Inventories(t *testing.T) {
+	for name, want := range table3 {
+		w := NewNPB(name, "C", 4)
+		for _, objName := range want {
+			if w.Object(objName) == nil {
+				t.Errorf("%s: missing Table 3 object %q", name, objName)
+			}
+		}
+	}
+}
+
+func TestNek5000Has48Objects(t *testing.T) {
+	w := NewNek5000("C", 4)
+	if len(w.Objects) != 48 {
+		t.Fatalf("Nek5000 has %d target objects, paper Table 3 says 48", len(w.Objects))
+	}
+	if w.FootprintFrac != 0.35 {
+		t.Fatalf("Nek5000 footprint fraction %v, paper says 35%%", w.FootprintFrac)
+	}
+}
+
+func TestAllRefsResolve(t *testing.T) {
+	for _, w := range append(EvalSuite("C", 4), NewSTREAM(4), NewPointerChase(4)) {
+		for _, ph := range w.Phases {
+			for iter := 0; iter < w.Iterations; iter += 7 {
+				for _, r := range ph.Refs(iter) {
+					if w.Object(r.Object) == nil {
+						t.Fatalf("%s/%s: ref to unknown object %q", w.Name, ph.Name, r.Object)
+					}
+					if r.Accesses < 1 {
+						t.Fatalf("%s/%s/%s: non-positive accesses", w.Name, ph.Name, r.Object)
+					}
+					if r.ReadFrac < 0 || r.ReadFrac > 1 {
+						t.Fatalf("%s/%s/%s: read fraction %v", w.Name, ph.Name, r.Object, r.ReadFrac)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClassScaling(t *testing.T) {
+	c := NewCG("C", 4)
+	d := NewCG("D", 4)
+	if d.Object("a").Size != 3*c.Object("a").Size {
+		t.Fatalf("class D should be 3x class C: %d vs %d",
+			d.Object("a").Size, c.Object("a").Size)
+	}
+}
+
+func TestStrongScalingShrinksPerRank(t *testing.T) {
+	w4 := NewCG("D", 4)
+	w16 := NewCG("D", 16)
+	if w16.Object("a").Size*4 != w4.Object("a").Size {
+		t.Fatalf("per-rank size should scale 1/ranks: %d vs %d",
+			w16.Object("a").Size, w4.Object("a").Size)
+	}
+	// And caching attenuation means post-cache accesses shrink
+	// superlinearly (the Fig. 12 effect).
+	a4 := w4.Phases[0].Refs(0)[0].Accesses
+	a16 := w16.Phases[0].Refs(0)[0].Accesses
+	if a16*4 >= a4 {
+		t.Fatalf("caching should attenuate accesses superlinearly: 4r=%d 16r=%d", a4, a16)
+	}
+}
+
+func TestAttenuation(t *testing.T) {
+	if atten(0) != 0 {
+		t.Error("atten(0)")
+	}
+	if a := atten(1 << 20); a != 0.05 {
+		t.Errorf("cache-resident object attenuation %v, want floor 0.05", a)
+	}
+	if a := atten(1 << 30); a < 0.95 {
+		t.Errorf("huge object attenuation %v, want ~1", a)
+	}
+	// Monotone in size.
+	prev := 0.0
+	for _, mb := range []int64{1, 10, 25, 50, 100, 500} {
+		a := atten(mb << 20)
+		if a < prev {
+			t.Fatalf("attenuation not monotone at %dMB", mb)
+		}
+		prev = a
+	}
+}
+
+func TestRefHintsComputed(t *testing.T) {
+	w := NewCG("C", 4)
+	if w.Object("a").RefHint <= 0 {
+		t.Error("a must have a static hint")
+	}
+	if w.Object("p").RefHint != 0 {
+		t.Error("p's count is convergence-dependent; no hint (paper limitation)")
+	}
+	// Nek work arrays are unhintable; geometry is.
+	nek := NewNek5000("C", 4)
+	if nek.Object("wk01").RefHint != 0 {
+		t.Error("Krylov work arrays must have no static hint")
+	}
+	if nek.Object("xm1").RefHint <= 0 {
+		t.Error("geometry arrays must have static hints")
+	}
+}
+
+func TestNekDrift(t *testing.T) {
+	w := NewNek5000("C", 4)
+	var pressure *Phase
+	for i := range w.Phases {
+		if w.Phases[i].Name == "pressure_solve" {
+			pressure = &w.Phases[i]
+		}
+	}
+	if pressure == nil {
+		t.Fatal("no pressure_solve phase")
+	}
+	objsAt := func(iter int) string {
+		var names []string
+		for _, r := range pressure.Refs(iter) {
+			if strings.HasPrefix(r.Object, "wk") {
+				names = append(names, r.Object)
+			}
+		}
+		return strings.Join(names, ",")
+	}
+	if objsAt(0) == objsAt(30) {
+		t.Fatal("hot Krylov set must drift across iterations")
+	}
+	if objsAt(0) != objsAt(5) {
+		t.Fatal("hot set must be stable within a drift period")
+	}
+}
+
+func TestFTPartitionableArrays(t *testing.T) {
+	w := NewFT("C", 4)
+	for _, n := range []string{"u0", "u1", "u2"} {
+		if !w.Object(n).Partitionable {
+			t.Errorf("%s must be partitionable (1-D regular)", n)
+		}
+	}
+	m := machine.PlatformA()
+	for _, n := range []string{"u0", "u1", "u2"} {
+		if w.Object(n).Size <= m.DRAMSpec.CapacityBytes {
+			t.Errorf("%s must exceed default DRAM to exercise chunking", n)
+		}
+	}
+}
+
+func TestMGUnpartitionable(t *testing.T) {
+	w := NewMG("C", 4)
+	for _, o := range w.Objects {
+		if o.Partitionable {
+			t.Errorf("MG's %s must not be partitionable (memory aliasing)", o.Name)
+		}
+	}
+}
+
+func TestSPSensitivityPatterns(t *testing.T) {
+	w := NewSP("C", 4)
+	pats := map[string]machine.Pattern{}
+	for _, ph := range w.Phases {
+		for _, r := range ph.Refs(0) {
+			pats[r.Object+"/"+ph.Name] = r.Pattern
+		}
+	}
+	if pats["lhs/x_solve"] != machine.PointerChase {
+		t.Error("lhs must be latency-bound in solves (Fig. 4)")
+	}
+	if pats["in_buffer/copy_faces"] != machine.Stream {
+		t.Error("in_buffer must be a pure stream (Fig. 4)")
+	}
+	if pats["rhs/compute_rhs"] != machine.Random {
+		t.Error("rhs must be mid-MLP random (sensitive to both, Fig. 4)")
+	}
+}
+
+func TestEvalSuite(t *testing.T) {
+	suite := EvalSuite("D", 4)
+	if len(suite) != 7 {
+		t.Fatalf("suite has %d workloads, want 7", len(suite))
+	}
+	for _, w := range suite {
+		if w.Name == "FT" && w.Class != "C" {
+			t.Error("FT must run Class C even in a Class D suite (paper §5)")
+		}
+	}
+}
+
+func TestUnknownBenchmarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown benchmark should panic")
+		}
+	}()
+	NewNPB("EP", "C", 4)
+}
+
+func TestTotalObjectBytes(t *testing.T) {
+	w := NewMG("C", 4)
+	want := w.Object("u").Size + w.Object("r").Size + w.Object("v").Size + w.Object("buff").Size
+	if w.TotalObjectBytes() != want {
+		t.Fatalf("TotalObjectBytes = %d, want %d", w.TotalObjectBytes(), want)
+	}
+}
+
+func TestCommKindStrings(t *testing.T) {
+	if CommAllreduce.String() != "Allreduce" || CommHalo.String() != "SendRecv" ||
+		CommNone.String() != "" || CommWaitHalo.String() != "Wait" {
+		t.Error("comm kind names wrong")
+	}
+}
+
+func TestMicrobenchmarks(t *testing.T) {
+	s := NewSTREAM(4)
+	if len(s.Phases) != 4 {
+		t.Fatalf("STREAM has %d kernels, want copy/scale/add/triad", len(s.Phases))
+	}
+	p := NewPointerChase(4)
+	if p.Phases[0].Refs(0)[0].Pattern != machine.PointerChase {
+		t.Fatal("pChase must chase pointers")
+	}
+}

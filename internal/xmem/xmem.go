@@ -1,0 +1,78 @@
+// Package xmem implements the X-Mem baseline the paper compares against
+// (Dulloor et al., "Data Tiering in Heterogeneous Memory Systems",
+// EuroSys 2016): a software data-tiering approach driven by *offline*
+// whole-program profiling (a PIN tool in the original; the exact recorded
+// traffic of the first iteration here), which classifies each data
+// object's access pattern, assumes the pattern is homogeneous within an
+// object and stable over time, and installs one static placement for the
+// entire run.
+//
+// The contrast with Unimem is exactly what the paper evaluates: X-Mem
+// needs an offline profiling run per application/input, models no data
+// movement cost (it never moves data after startup), and cannot adapt to
+// phase behaviour that varies across iterations — which is why it loses
+// ~10% on Nek5000 while matching Unimem on the stationary NPB kernels.
+package xmem
+
+import (
+	"unimem/internal/app"
+	"unimem/internal/machine"
+	"unimem/internal/placement"
+	"unimem/internal/workloads"
+)
+
+// BuildPlacement derives X-Mem's static DRAM set from an offline profile:
+// per object, the exact (unsampled) per-iteration benefit of DRAM
+// residency under the machine's timing model, knapsacked into DRAM
+// capacity. Objects are whole — X-Mem does not partition.
+func BuildPlacement(w *workloads.Workload, m *machine.Machine, prof *app.RecordedProfile) map[string]bool {
+	benefit := make(map[string]float64)
+	for _, ph := range prof.Phases {
+		for _, t := range ph.Traffic {
+			nvm := m.MemTimeNS(machine.NVM, t.Accesses, t.Pattern, t.ReadFrac)
+			dram := m.MemTimeNS(machine.DRAM, t.Accesses, t.Pattern, t.ReadFrac)
+			benefit[t.Object] += nvm - dram
+		}
+	}
+	var items []placement.Item
+	for _, os := range w.Objects {
+		if b := benefit[os.Name]; b > 0 {
+			items = append(items, placement.Item{Chunk: os.Name, Size: os.Size, WeightNS: b})
+		}
+	}
+	chosen, _ := placement.Knapsack(items, m.DRAMSpec.CapacityBytes)
+	set := make(map[string]bool, len(chosen))
+	for _, i := range chosen {
+		set[items[i].Chunk] = true
+	}
+	return set
+}
+
+// Factory returns a manager factory enforcing the given static placement.
+func Factory(set map[string]bool) app.ManagerFactory {
+	return app.NewStaticFactory("xmem", func(object string) bool { return set[object] })
+}
+
+// Profile runs the offline profiling pass (the PIN-based trace collection
+// of the original system) and returns rank 0's recorded profile. The run
+// happens on an NVM-only placement, matching how an offline profile is
+// collected before any tiering decision exists.
+func Profile(w *workloads.Workload, m *machine.Machine, opts app.Options) (*app.RecordedProfile, error) {
+	ranks := opts.Ranks
+	if ranks == 0 {
+		ranks = w.Ranks
+	}
+	profiles := make([]*app.RecordedProfile, ranks)
+	for i := range profiles {
+		profiles[i] = &app.RecordedProfile{}
+	}
+	profOpts := opts
+	// One iteration suffices: X-Mem's offline profile sees a snapshot of
+	// the application, which is the crux of its Nek5000 weakness.
+	wcopy := *w
+	wcopy.Iterations = 1
+	if _, err := app.Run(&wcopy, m, profOpts, app.NewRecorderFactory(profiles)); err != nil {
+		return nil, err
+	}
+	return profiles[0], nil
+}

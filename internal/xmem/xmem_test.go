@@ -1,0 +1,87 @@
+package xmem
+
+import (
+	"testing"
+
+	"unimem/internal/app"
+	"unimem/internal/machine"
+	"unimem/internal/workloads"
+)
+
+func TestProfileRecordsOneIteration(t *testing.T) {
+	w := workloads.NewCG("C", 4)
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	prof, err := Profile(w, m, app.Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Phases) != len(w.Phases) {
+		t.Fatalf("profiled %d phases, want %d", len(prof.Phases), len(w.Phases))
+	}
+	for i, ph := range prof.Phases {
+		if ph.Name != w.Phases[i].Name {
+			t.Fatalf("phase %d name %q, want %q", i, ph.Name, w.Phases[i].Name)
+		}
+	}
+}
+
+func TestBuildPlacementPicksHotObjects(t *testing.T) {
+	w := workloads.NewCG("C", 4)
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	prof, err := Profile(w, m, app.Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := BuildPlacement(w, m, prof)
+	if !set["a"] {
+		t.Errorf("CG's matrix a must be placed: %v", set)
+	}
+	var bytes int64
+	for name := range set {
+		bytes += w.Object(name).Size
+	}
+	if bytes > m.DRAMSpec.CapacityBytes {
+		t.Fatalf("placement %d bytes exceeds DRAM %d", bytes, m.DRAMSpec.CapacityBytes)
+	}
+}
+
+func TestXMemBeatsNVMOnly(t *testing.T) {
+	w := workloads.NewCG("C", 4)
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	prof, err := Profile(w, m, app.Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := BuildPlacement(w, m, prof)
+	xres, err := app.Run(w, m, app.Options{Ranks: 4}, Factory(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nres, err := app.Run(w, m, app.Options{Ranks: 4}, app.NewStaticFactory("nvm", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xres.TimeNS >= nres.TimeNS {
+		t.Fatalf("X-Mem %d not better than NVM-only %d", xres.TimeNS, nres.TimeNS)
+	}
+	if xres.TotalMigrations() != 0 {
+		t.Fatal("X-Mem is static: no runtime migrations")
+	}
+}
+
+func TestXMemMissesDrift(t *testing.T) {
+	// The offline profile sees iteration 0's hot set only; the placement
+	// must not contain late-appearing work arrays.
+	w := workloads.NewNek5000("C", 4)
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	prof, err := Profile(w, m, app.Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := BuildPlacement(w, m, prof)
+	// Iteration-0 hot work arrays start at wk01; arrays from late drift
+	// periods (e.g. wk10+) are invisible to the offline profile.
+	if set["wk10"] || set["wk11"] || set["wk12"] {
+		t.Fatalf("offline profile cannot know late-drift work arrays: %v", set)
+	}
+}

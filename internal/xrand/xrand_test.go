@@ -1,0 +1,150 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("children with different salts should diverge")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n int) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		if n > 1<<30 {
+			n %= 1 << 30
+			n++
+		}
+		v := New(seed).Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n int64) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		v := New(seed).Int63n(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(123)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(5)
+	var sum, sum2 float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Norm variance %v too far from 1", variance)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := New(11)
+	const sigma = 0.05
+	for i := 0; i < 10000; i++ {
+		j := r.Jitter(sigma)
+		if j < 1-3*sigma-1e-12 || j > 1+3*sigma+1e-12 {
+			t.Fatalf("Jitter %v outside 3-sigma truncation", j)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	_ = r.Uint64() // must not panic
+}

@@ -1,0 +1,180 @@
+// Package unimem is a reproduction of "Unimem: Runtime Data Management on
+// Non-Volatile Memory-based Heterogeneous Main Memory" (Wu, Huang, Li —
+// SC 2017): a lightweight runtime that automatically and transparently
+// decides which data objects of an iterative MPI application live in the
+// small fast DRAM tier and which in the large slow NVM tier of a
+// heterogeneous memory system.
+//
+// The package bundles the runtime (online counter-based profiling, the
+// Eq. 1-4 performance models, knapsack placement via phase-local and
+// cross-phase global search, proactive helper-thread migration) together
+// with the simulated substrate it manages: a two-tier memory system with
+// real byte backing, an MPI-like world of goroutine ranks with virtual
+// clocks, emulated sampling performance counters, the NPB/Nek5000
+// evaluation workloads, the X-Mem baseline, and a harness that regenerates
+// every table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+//	app := unimem.NewApp("myapp", 4, 50)
+//	app.Object("field", 128<<20, unimem.WithHint(2e6))
+//	app.ComputePhase("sweep", 20e6, unimem.Stream("field", 2e6, 0.5))
+//	app.CommPhase("sum", unimem.Allreduce, 8, 1e6)
+//	w := app.Build()
+//
+//	res, rts, err := unimem.Run(w, m, unimem.DefaultConfig())
+//
+// See the examples directory for complete programs and cmd/unimem-bench
+// for the paper's experiments.
+package unimem
+
+import (
+	"unimem/internal/app"
+	"unimem/internal/core"
+	"unimem/internal/exp"
+	"unimem/internal/machine"
+	"unimem/internal/model"
+	"unimem/internal/phase"
+	"unimem/internal/workloads"
+	"unimem/internal/xmem"
+)
+
+// Machine describes the simulated platform (tiers, CPU, network).
+type Machine = machine.Machine
+
+// TierKind identifies DRAM or NVM.
+type TierKind = machine.TierKind
+
+// Pattern classifies an object's main-memory access behaviour.
+type Pattern = machine.Pattern
+
+// Tier and pattern constants, re-exported for workload construction.
+const (
+	DRAM = machine.DRAM
+	NVM  = machine.NVM
+
+	PatternStream       = machine.Stream
+	PatternStencil      = machine.Stencil
+	PatternRandom       = machine.Random
+	PatternPointerChase = machine.PointerChase
+)
+
+// PlatformA returns the paper's 4-node evaluation cluster model; derive
+// NVM configurations with WithNVMBandwidthFraction / WithNVMLatencyFactor.
+func PlatformA() *Machine { return machine.PlatformA() }
+
+// Edison returns the strong-scaling platform (NUMA-emulated NVM: 0.6x
+// bandwidth, 1.89x latency).
+func Edison() *Machine { return machine.Edison() }
+
+// Config selects Unimem runtime features and model parameters.
+type Config = core.Config
+
+// Runtime is the per-rank Unimem instance (exposed for inspection: plans,
+// migration statistics, DRAM residency).
+type Runtime = core.Runtime
+
+// Calibration is the one-time platform measurement of CF_bw / CF_lat /
+// BW_peak (§3.1.2).
+type Calibration = model.Calibration
+
+// DefaultConfig returns the full Unimem configuration: both searches,
+// partitioning and initial placement enabled, the paper's thresholds.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Workload is a phase-structured iterative MPI application description.
+type Workload = workloads.Workload
+
+// Result is the outcome of running a workload: per-rank virtual times,
+// migration statistics, phase profile.
+type Result = app.Result
+
+// Options configures a run (world size, seed, materialization cap).
+type Options = app.Options
+
+// Run executes the workload on machine m under the Unimem runtime and
+// returns the result together with the per-rank runtimes for inspection.
+func Run(w *Workload, m *Machine, cfg Config) (*Result, []*Runtime, error) {
+	return RunOpts(w, m, cfg, Options{})
+}
+
+// RunOpts is Run with explicit harness options.
+func RunOpts(w *Workload, m *Machine, cfg Config, opts Options) (*Result, []*Runtime, error) {
+	col := exp.NewCollector()
+	res, err := app.Run(w, m, opts, col.Factory(cfg))
+	return res, col.Runtimes, err
+}
+
+// RunNVMOnly executes the workload with every object pinned in NVM — the
+// NVM-only system of the paper's comparisons.
+func RunNVMOnly(w *Workload, m *Machine) (*Result, error) {
+	return app.Run(w, m, Options{}, app.NewStaticFactory("nvm-only", nil))
+}
+
+// RunDRAMOnly executes the workload on the undegraded twin of m (NVM tier
+// configured to DRAM parity) — the DRAM-only baseline all results
+// normalize against.
+func RunDRAMOnly(w *Workload, m *Machine) (*Result, error) {
+	dm := m.WithNVMLatencyFactor(1).WithNVMBandwidthFraction(1)
+	return app.Run(w, dm, Options{}, app.NewStaticFactory("dram-only", nil))
+}
+
+// RunXMem executes the workload under the X-Mem baseline: an offline
+// profiling pass followed by a static hotness placement.
+func RunXMem(w *Workload, m *Machine) (*Result, error) {
+	prof, err := xmem.Profile(w, m, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return app.Run(w, m, Options{}, xmem.Factory(xmem.BuildPlacement(w, m, prof)))
+}
+
+// Calibrate performs the one-time platform calibration with STREAM and
+// pointer-chasing microbenchmarks; install the result in Config.Calibration
+// to share it across runs (as the paper does per platform).
+func Calibrate(m *Machine) Calibration {
+	return model.Calibrate(m, core.DefaultConfig().Counters, 0xCA1)
+}
+
+// Benchmarks returns the paper's evaluation workloads: the six NPB kernels
+// plus Nek5000 at the given class and scale.
+func Benchmarks(class string, ranks int) []*Workload {
+	return workloads.EvalSuite(class, ranks)
+}
+
+// NewNPB builds one NPB kernel (CG, FT, BT, LU, SP, MG) by name.
+func NewNPB(name, class string, ranks int) *Workload {
+	return workloads.NewNPB(name, class, ranks)
+}
+
+// NewNek5000 builds the Nek5000 eddy production proxy.
+func NewNek5000(class string, ranks int) *Workload {
+	return workloads.NewNek5000(class, ranks)
+}
+
+// Experiment is a regenerated paper artifact.
+type Experiment = exp.Table
+
+// ExperimentSuite exposes the paper's tables and figures; see
+// cmd/unimem-bench for the CLI.
+type ExperimentSuite = exp.Suite
+
+// NewExperimentSuite returns the experiment harness with paper defaults
+// (Class C, 4 ranks).
+func NewExperimentSuite() *ExperimentSuite { return exp.NewSuite() }
+
+// Experiments returns the experiment IDs in presentation order and their
+// runners.
+func Experiments() ([]string, map[string]func(*ExperimentSuite) (*Experiment, error)) {
+	order, reg := exp.Registry()
+	out := make(map[string]func(*ExperimentSuite) (*Experiment, error), len(reg))
+	for id, r := range reg {
+		out[id] = r
+	}
+	return order, out
+}
+
+// Ref describes one object's per-phase traffic when building custom
+// applications.
+type Ref = phase.Ref

@@ -1,0 +1,111 @@
+package unimem_test
+
+import (
+	"testing"
+
+	"unimem"
+)
+
+func buildApp(iters int) *unimem.Workload {
+	app := unimem.NewApp("demo", 2, iters)
+	app.Object("field", 96<<20, unimem.WithHint(2e6))
+	app.Object("index", 96<<20)
+	app.Object("scratch", 96<<20)
+	app.ComputePhase("sweep", 20e6,
+		unimem.Stream("field", 2e6, 0.5),
+		unimem.Chase("index", 4e5, 0))
+	app.CommPhase("sum", unimem.Allreduce, 64, 1e6)
+	return app.Build()
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5).WithDRAMCapacity(224 << 20)
+	w := buildApp(15)
+
+	dram, err := unimem.RunDRAMOnly(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvm, err := unimem.RunNVMOnly(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := unimem.DefaultConfig()
+	cfg.Calibration = unimem.Calibrate(m)
+	uni, rts, err := unimem.Run(w, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rts) != 2 {
+		t.Fatalf("expected 2 runtimes, got %d", len(rts))
+	}
+	if !(dram.TimeNS <= uni.TimeNS && uni.TimeNS < nvm.TimeNS) {
+		t.Fatalf("ordering violated: dram=%d uni=%d nvm=%d", dram.TimeNS, uni.TimeNS, nvm.TimeNS)
+	}
+	for _, rt := range rts {
+		if rt.Plan() == nil {
+			t.Fatal("runtime has no plan")
+		}
+	}
+}
+
+func TestXMemComparable(t *testing.T) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	w := unimem.NewNPB("CG", "C", 4)
+	xm, err := unimem.RunXMem(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvm, err := unimem.RunNVMOnly(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xm.TimeNS >= nvm.TimeNS {
+		t.Fatal("X-Mem should beat NVM-only on CG")
+	}
+}
+
+func TestBenchmarksSuite(t *testing.T) {
+	suite := unimem.Benchmarks("C", 4)
+	if len(suite) != 7 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	order, reg := unimem.Experiments()
+	if len(order) == 0 || len(reg) != len(order) {
+		t.Fatal("experiment registry incomplete")
+	}
+	s := unimem.NewExperimentSuite()
+	tbl, err := reg["table1"](s)
+	if err != nil || len(tbl.Rows) == 0 {
+		t.Fatalf("table1 runner: %v", err)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { unimem.NewApp("x", 0, 1) },
+		func() {
+			a := unimem.NewApp("x", 1, 1)
+			a.Object("o", 1<<20)
+			a.Object("o", 1<<20)
+		},
+		func() {
+			a := unimem.NewApp("x", 1, 1)
+			a.ComputePhase("p", 1, unimem.Stream("ghost", 100, 0))
+			a.Build()
+		},
+		func() { unimem.NewApp("x", 1, 1).Build() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected builder panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
