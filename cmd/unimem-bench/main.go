@@ -2,33 +2,64 @@
 // figures. Each experiment prints the same rows/series the paper reports,
 // normalized to DRAM-only execution time.
 //
+// Rendered tables go to stdout; progress, timing and the run-cache summary
+// go to stderr, so stdout is byte-identical between serial and parallel
+// runs of the same experiments.
+//
 // Usage:
 //
 //	unimem-bench -list
 //	unimem-bench -exp fig9
 //	unimem-bench -exp all -class C -ranks 4
+//	unimem-bench -exp all -quick -parallel
+//	unimem-bench -exp fig9,table4 -workers 8 -json results.json
 //	unimem-bench -exp table4 -csv out.csv
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"unimem/internal/exp"
 )
 
+// summary is the machine-readable run report of the JSON output mode.
+type summary struct {
+	Experiments []string `json:"experiments"`
+	Class       string   `json:"class"`
+	Ranks       int      `json:"ranks"`
+	Seed        uint64   `json:"seed"`
+	Quick       bool     `json:"quick"`
+	Workers     int      `json:"workers"`
+	CacheHits   int64    `json:"cache_hits"`
+	CacheMisses int64    `json:"cache_misses"`
+	CacheRuns   int      `json:"cache_entries"`
+}
+
+// document is the top-level JSON output: every regenerated table plus the
+// run summary.
+type document struct {
+	Tables  []*exp.Table `json:"tables"`
+	Summary summary      `json:"summary"`
+}
+
 func main() {
 	var (
-		expID = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		class = flag.String("class", "C", "NPB class for the basic tests (A/B/C/D)")
-		ranks = flag.Int("ranks", 4, "MPI world size")
-		seed  = flag.Uint64("seed", 0xD07, "deterministic seed")
-		quick = flag.Bool("quick", false, "cap iteration counts (fast, less faithful)")
-		csv   = flag.String("csv", "", "also write results as CSV to this file")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		expID    = flag.String("exp", "all", "experiment id (see -list), comma-separated list, or 'all'")
+		class    = flag.String("class", "C", "NPB class for the basic tests (A/B/C/D)")
+		ranks    = flag.Int("ranks", 4, "MPI world size")
+		seed     = flag.Uint64("seed", 0xD07, "deterministic seed")
+		quick    = flag.Bool("quick", false, "cap iteration counts (fast, less faithful)")
+		parallel = flag.Bool("parallel", false, "fan experiment cells across GOMAXPROCS workers")
+		workersN = flag.Int("workers", 0, "worker-pool width (overrides -parallel; 1 = serial)")
+		csv      = flag.String("csv", "", "also write results as CSV to this file")
+		jsonOut  = flag.String("json", "", "write results as JSON to this file ('-' for stdout, suppressing tables)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -40,11 +71,20 @@ func main() {
 		return
 	}
 
+	workers := 1
+	switch {
+	case *workersN > 0:
+		workers = *workersN
+	case *parallel:
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	s := exp.NewSuite()
 	s.Class = *class
 	s.Ranks = *ranks
 	s.Seed = *seed
 	s.Quick = *quick
+	s.Workers = workers
 
 	var ids []string
 	if *expID == "all" {
@@ -70,15 +110,34 @@ func main() {
 		csvOut = f
 	}
 
+	// Open the JSON destination up front so a bad path fails before the
+	// experiments run, like -csv does.
+	jsonFile := os.Stdout
+	if *jsonOut != "" && *jsonOut != "-" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonFile = f
+	}
+
+	renderTables := *jsonOut != "-"
+	var tables []*exp.Table
+	start := time.Now()
 	for _, id := range ids {
-		start := time.Now()
+		expStart := time.Now()
 		t, err := reg[id](s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
-		t.Render(os.Stdout)
-		fmt.Printf("  (%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		tables = append(tables, t)
+		if renderTables {
+			t.Render(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "  (%s regenerated in %v)\n", id, time.Since(expStart).Round(time.Millisecond))
 		if csvOut != nil {
 			fmt.Fprintf(csvOut, "# %s: %s\n", t.ID, t.Title)
 			if err := t.WriteCSV(csvOut); err != nil {
@@ -86,6 +145,34 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintln(csvOut)
+		}
+	}
+
+	stats := s.CacheStats()
+	fmt.Fprintf(os.Stderr, "%d experiment(s) in %v; workers=%d; baseline cache: %d hits, %d misses (%d runs memoized)\n",
+		len(ids), time.Since(start).Round(time.Millisecond),
+		workers, stats.Hits, stats.Misses, stats.Entries)
+
+	if *jsonOut != "" {
+		doc := document{
+			Tables: tables,
+			Summary: summary{
+				Experiments: ids,
+				Class:       *class,
+				Ranks:       *ranks,
+				Seed:        *seed,
+				Quick:       *quick,
+				Workers:     workers,
+				CacheHits:   stats.Hits,
+				CacheMisses: stats.Misses,
+				CacheRuns:   stats.Entries,
+			},
+		}
+		enc := json.NewEncoder(jsonFile)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -274,6 +274,13 @@ func (r *Runtime) LoopStart(ctx *app.RankCtx) {
 // proactive migrations, and synchronize with the helper thread for moves
 // this phase depends on.
 func (r *Runtime) PhaseBegin(ctx *app.RankCtx, name string, kind phase.Kind, mpiOp string) {
+	// Apply every migration enqueued before this boundary to the heap now,
+	// so placement visibility is a deterministic function of the virtual
+	// schedule (enqueue at phase p => tier change observed from phase p+1)
+	// rather than of goroutine scheduling. Costs no virtual time; exposed
+	// stalls are still charged at the Sync below.
+	r.mov.Drain()
+
 	p, newIter := r.reg.Begin(name, kind, mpiOp)
 
 	if newIter && r.reg.Sealed() {

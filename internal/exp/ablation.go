@@ -35,14 +35,16 @@ func (s *Suite) Ablation() (*Table, error) {
 		{"BT @1/2 bw", workloads.NewBT("C", s.Ranks), machine.PlatformA().WithNVMBandwidthFraction(0.5)},
 		{"Nek5000 @1/2 bw", workloads.NewNek5000("C", s.Ranks), machine.PlatformA().WithNVMBandwidthFraction(0.5)},
 	}
-	for _, sc := range scenarios {
+	rows := make([][]interface{}, len(scenarios))
+	err := forEachRow(s.workers(), len(scenarios), func(i int) error {
+		sc := scenarios[i]
 		dram, err := s.runStatic(sc.w, dramMachineFor(sc.m), "dram-only", nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nvm, err := s.runStatic(sc.w, sc.m, "nvm-only", nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []interface{}{sc.name, norm(nvm.TimeNS, dram.TimeNS)}
 		for _, knob := range []func(*core.Config){
@@ -55,10 +57,17 @@ func (s *Suite) Ablation() (*Table, error) {
 			knob(&cfg)
 			res, _, err := s.runUnimem(sc.w, sc.m, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row = append(row, norm(res.TimeNS, dram.TimeNS))
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"unimem/internal/app"
+	"unimem/internal/machine"
+	"unimem/internal/workloads"
+)
+
+// RunKey identifies one deterministic app.Run execution. Two runs with equal
+// keys produce bit-identical *app.Result values (every stochastic input in
+// the simulator flows from the seed through xrand), so the suite may execute
+// the run once and share the result.
+//
+// The machine component is a performance fingerprint of the tier, CPU and
+// network parameters rather than the Machine.Name: derivation chains such as
+// dramMachineFor(PlatformA().WithNVMBandwidthFraction(0.5)) and
+// dramMachineFor(PlatformA().WithNVMLatencyFactor(4)) yield differently
+// named but physically identical platforms, and the cache must recognize
+// them as the same DRAM-only baseline.
+type RunKey struct {
+	// Workload is name|class|ranks|iterations of the (prep-applied)
+	// workload; all workload content is a pure function of those four.
+	Workload string
+	// Machine is the performance fingerprint from machineFingerprint.
+	Machine string
+	// Strategy identifies the placement policy ("static:dram-only",
+	// "static:pin:lhs", "xmem", ...).
+	Strategy string
+	// Ranks, RPN, Seed, MatCap and Chunk mirror the app.Options fields
+	// that influence the run.
+	Ranks  int
+	RPN    int
+	Seed   uint64
+	MatCap int64
+	Chunk  int64
+}
+
+// keyFor builds the cache key for running w on m under the named placement
+// strategy with the given options. w must already have prep applied (the
+// key captures Quick mode through the iteration count).
+func keyFor(w *workloads.Workload, m *machine.Machine, strategy string, opts app.Options) RunKey {
+	return RunKey{
+		Workload: fmt.Sprintf("%s|%s|%d|%d", w.Name, w.Class, w.Ranks, w.Iterations),
+		Machine:  machineFingerprint(m),
+		Strategy: strategy,
+		Ranks:    opts.Ranks,
+		RPN:      opts.RanksPerNode,
+		Seed:     opts.Seed,
+		MatCap:   opts.MaterializeCap,
+		Chunk:    opts.ChunkSize,
+	}
+}
+
+// machineFingerprint renders every Machine parameter that influences
+// simulated time or capacity, deliberately excluding the display Name.
+func machineFingerprint(m *machine.Machine) string {
+	tier := func(t machine.TierSpec) string {
+		return fmt.Sprintf("%g/%g/%g/%d", t.ReadLatNS, t.WriteLatNS, t.BandwidthBps, t.CapacityBytes)
+	}
+	return fmt.Sprintf("d=%s n=%s cp=%g cpu=%g fl=%g si=%d nl=%g nb=%g",
+		tier(m.DRAMSpec), tier(m.NVMSpec), m.CopyBandwidthBps,
+		m.CPUFreqHz, m.FlopsPerSec, m.SampleIntervalCycles,
+		m.NetLatencyNS, m.NetBandwidthBps)
+}
+
+// cacheEntry is one memoized run. The sync.Once gives singleflight
+// semantics: concurrent requests for the same key block on the first
+// executor instead of duplicating the run.
+type cacheEntry struct {
+	once sync.Once
+	res  *app.Result
+	err  error
+}
+
+// RunCache memoizes deterministic app.Run executions by RunKey. It is safe
+// for concurrent use by the worker pool; a nil *RunCache disables
+// memoization (every Do executes its function).
+//
+// Results are shared by pointer: callers must treat a returned *app.Result
+// as immutable. Errors are cached alongside results so a failing baseline
+// fails every dependent cell identically in serial and parallel runs.
+type RunCache struct {
+	mu      sync.Mutex
+	entries map[RunKey]*cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewRunCache returns an empty cache.
+func NewRunCache() *RunCache {
+	return &RunCache{entries: map[RunKey]*cacheEntry{}}
+}
+
+// Do returns the memoized result for key, executing run exactly once per
+// key across all callers. A caller that arrives while another is executing
+// the same key blocks until that execution finishes and counts as a hit.
+func (c *RunCache) Do(key RunKey, run func() (*app.Result, error)) (*app.Result, error) {
+	if c == nil {
+		return run()
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	executed := false
+	e.once.Do(func() {
+		executed = true
+		e.res, e.err = run()
+	})
+	if executed {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return e.res, e.err
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	// Hits counts Do calls served from a memoized (or in-flight) run.
+	Hits int64
+	// Misses counts Do calls that executed their run function.
+	Misses int64
+	// Entries is the number of distinct keys seen.
+	Entries int
+}
+
+// Stats snapshots the hit/miss counters.
+func (c *RunCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}

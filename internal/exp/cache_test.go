@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"unimem/internal/app"
+	"unimem/internal/machine"
+)
+
+func testKey(strategy string) RunKey {
+	return RunKey{Workload: "W|C|4|12", Machine: "m", Strategy: strategy, Ranks: 4, Seed: 1}
+}
+
+func TestRunCacheHitMissAccounting(t *testing.T) {
+	c := NewRunCache()
+	var calls atomic.Int64
+	run := func() (*app.Result, error) {
+		calls.Add(1)
+		return &app.Result{TimeNS: 42}, nil
+	}
+	r1, err := c.Do(testKey("a"), run)
+	if err != nil || r1.TimeNS != 42 {
+		t.Fatalf("first Do: %v %v", r1, err)
+	}
+	r2, err := c.Do(testKey("a"), run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("hit did not return the memoized *Result")
+	}
+	if _, err := c.Do(testKey("b"), run); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("run executed %d times, want 2 (one per distinct key)", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses / 2 entries", st)
+	}
+}
+
+func TestRunCacheCachesErrors(t *testing.T) {
+	c := NewRunCache()
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	run := func() (*app.Result, error) {
+		calls.Add(1)
+		return nil, boom
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do(testKey("bad"), run); err != boom {
+			t.Fatalf("call %d: err = %v, want boom", i, err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("failing run executed %d times, want 1", calls.Load())
+	}
+}
+
+// TestRunCacheSingleflight hammers one key from many goroutines; the run
+// must execute exactly once and every caller must observe its result.
+// (Run with -race in CI.)
+func TestRunCacheSingleflight(t *testing.T) {
+	c := NewRunCache()
+	var calls atomic.Int64
+	res := &app.Result{TimeNS: 7}
+	var wg sync.WaitGroup
+	const n = 32
+	got := make([]*app.Result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Do(testKey("shared"), func() (*app.Result, error) {
+				calls.Add(1)
+				return res, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			got[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("run executed %d times under contention, want 1", calls.Load())
+	}
+	for i, r := range got {
+		if r != res {
+			t.Fatalf("caller %d saw %v, want the shared result", i, r)
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != n || st.Misses != 1 {
+		t.Errorf("stats = %+v, want %d total with exactly 1 miss", st, n)
+	}
+}
+
+func TestRunCacheNilDisablesMemoization(t *testing.T) {
+	var c *RunCache
+	var calls atomic.Int64
+	for i := 0; i < 2; i++ {
+		if _, err := c.Do(testKey("x"), func() (*app.Result, error) {
+			calls.Add(1)
+			return &app.Result{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("nil cache executed %d times, want 2", calls.Load())
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v, want zero", st)
+	}
+}
+
+// TestMachineFingerprintIgnoresName pins the key property the cross-
+// experiment sharing relies on: differently derived but physically
+// identical machines fingerprint equally, while any perf/capacity change
+// fingerprints differently.
+func TestMachineFingerprintIgnoresName(t *testing.T) {
+	a := dramMachineFor(machine.PlatformA().WithNVMBandwidthFraction(0.5))
+	b := dramMachineFor(machine.PlatformA().WithNVMLatencyFactor(4))
+	if a.Name == b.Name {
+		t.Fatal("test premise broken: derivation chains should differ in Name")
+	}
+	if machineFingerprint(a) != machineFingerprint(b) {
+		t.Error("DRAM-only twins of fig9/fig10 machines must share a fingerprint")
+	}
+	c := machine.PlatformA()
+	if machineFingerprint(c) == machineFingerprint(c.WithDRAMCapacity(128<<20)) {
+		t.Error("DRAM capacity change must alter the fingerprint")
+	}
+	if machineFingerprint(c) == machineFingerprint(c.WithNVMBandwidthFraction(0.5)) {
+		t.Error("NVM bandwidth change must alter the fingerprint")
+	}
+	if machineFingerprint(c) == machineFingerprint(c.WithNVMLatencyFactor(2)) {
+		t.Error("NVM latency change must alter the fingerprint")
+	}
+}
+
+// TestSuiteSharesBaselinesAcrossExperiments runs fig9 then fig13 on one
+// suite: fig13 re-needs fig9's DRAM-only and NVM-only baselines, so the
+// second experiment must hit the cache.
+func TestSuiteSharesBaselinesAcrossExperiments(t *testing.T) {
+	s := quickSuite()
+	if _, err := s.Fig9(); err != nil {
+		t.Fatal(err)
+	}
+	after9 := s.CacheStats()
+	if after9.Misses == 0 {
+		t.Fatal("fig9 executed no baseline runs?")
+	}
+	if _, err := s.Fig13(); err != nil {
+		t.Fatal(err)
+	}
+	after13 := s.CacheStats()
+	if gained := after13.Hits - after9.Hits; gained == 0 {
+		t.Error("fig13 did not reuse any of fig9's baselines")
+	}
+	// Every fig13 baseline (DRAM-only and NVM-only per benchmark on the
+	// same machine as fig9) must have been served from the cache.
+	if after13.Misses != after9.Misses {
+		t.Errorf("fig13 executed %d fresh baseline runs, want 0 (fig9 covers them)",
+			after13.Misses-after9.Misses)
+	}
+}

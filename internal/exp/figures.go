@@ -91,20 +91,29 @@ func (s *Suite) sweep(id, title, axis string, mk func(*machine.Machine, float64)
 	// come from the workload's rank scaling.
 	suite := workloads.EvalSuite("D", s.Ranks)
 	suite = suite[:len(suite)-1] // NPB only in Figs. 2/3
-	for _, w := range suite {
+	rows := make([][]interface{}, len(suite))
+	err := forEachRow(s.workers(), len(suite), func(i int) error {
+		w := suite[i]
 		dram, err := s.runStatic(w, base, "dram-only", nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []interface{}{w.Name}
 		for _, p := range points {
 			m := mk(base, p)
 			nvm, err := s.runStatic(w, m, "nvm-only", nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row = append(row, norm(nvm.TimeNS, dram.TimeNS))
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "execution time normalized to DRAM-only; "+axis)
@@ -148,39 +157,50 @@ func (s *Suite) Fig4() (*Table, error) {
 	}
 	base := machine.PlatformA()
 	bigDRAM := int64(2) << 30 // Fig. 4 places whole objects; give DRAM room
+	type cell struct {
+		class, label string
+		m            *machine.Machine
+	}
+	var cells []cell
 	for _, class := range []string{"C", "D"} {
-		w := workloads.NewSP(class, s.Ranks)
-		for _, cfg := range []struct {
-			label string
-			m     *machine.Machine
-		}{
-			{"1/2 bw", base.WithNVMBandwidthFraction(0.5).WithDRAMCapacity(bigDRAM)},
-			{"4x lat", base.WithNVMLatencyFactor(4).WithDRAMCapacity(bigDRAM)},
-		} {
-			dram, err := s.runStatic(w, dramMachineFor(cfg.m), "dram-only", nil)
-			if err != nil {
-				return nil, err
-			}
-			row := []interface{}{class, cfg.label, 1.00}
-			for _, g := range groups {
-				set := make(map[string]bool, len(g))
-				for _, n := range g {
-					set[n] = true
-				}
-				r, err := s.runStatic(w, cfg.m, "pin:"+strings.Join(g, "+"),
-					func(o string) bool { return set[o] })
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, norm(r.TimeNS, dram.TimeNS))
-			}
-			nvm, err := s.runStatic(w, cfg.m, "nvm-only", nil)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, norm(nvm.TimeNS, dram.TimeNS))
-			t.AddRow(row...)
+		cells = append(cells,
+			cell{class, "1/2 bw", base.WithNVMBandwidthFraction(0.5).WithDRAMCapacity(bigDRAM)},
+			cell{class, "4x lat", base.WithNVMLatencyFactor(4).WithDRAMCapacity(bigDRAM)})
+	}
+	rows := make([][]interface{}, len(cells))
+	err := forEachRow(s.workers(), len(cells), func(i int) error {
+		c := cells[i]
+		w := workloads.NewSP(c.class, s.Ranks)
+		dram, err := s.runStatic(w, dramMachineFor(c.m), "dram-only", nil)
+		if err != nil {
+			return err
 		}
+		row := []interface{}{c.class, c.label, 1.00}
+		for _, g := range groups {
+			set := make(map[string]bool, len(g))
+			for _, n := range g {
+				set[n] = true
+			}
+			r, err := s.runStatic(w, c.m, "pin:"+strings.Join(g, "+"),
+				func(o string) bool { return set[o] })
+			if err != nil {
+				return err
+			}
+			row = append(row, norm(r.TimeNS, dram.TimeNS))
+		}
+		nvm, err := s.runStatic(w, c.m, "nvm-only", nil)
+		if err != nil {
+			return err
+		}
+		row = append(row, norm(nvm.TimeNS, dram.TimeNS))
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"expected shape: buffers help under 1/2 bw but not 4x lat; lhs the reverse; rhs helps under both")
@@ -195,31 +215,44 @@ func (s *Suite) comparison(id, title string, m *machine.Machine) (*Table, error)
 		Columns: []string{"Benchmark", "DRAM-only", "NVM-only", "X-Mem", "Unimem"},
 	}
 	dm := dramMachineFor(m)
-	var nvmN, xN, uN []float64
-	for _, w := range s.evalSuite() {
+	ws := s.evalSuite()
+	type compRow struct{ nvm, x, u float64 }
+	rows := make([]compRow, len(ws))
+	err := forEachRow(s.workers(), len(ws), func(i int) error {
+		w := ws[i]
 		dram, err := s.runStatic(w, dm, "dram-only", nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nvm, err := s.runStatic(w, m, "nvm-only", nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		xm, err := s.runXMem(w, m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		uni, _, err := s.runUnimem(w, m, s.unimemConfig(m))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		n1 := norm(nvm.TimeNS, dram.TimeNS)
-		n2 := norm(xm.TimeNS, dram.TimeNS)
-		n3 := norm(uni.TimeNS, dram.TimeNS)
-		nvmN = append(nvmN, n1)
-		xN = append(xN, n2)
-		uN = append(uN, n3)
-		t.AddRow(w.Name, 1.00, n1, n2, n3)
+		rows[i] = compRow{
+			nvm: norm(nvm.TimeNS, dram.TimeNS),
+			x:   norm(xm.TimeNS, dram.TimeNS),
+			u:   norm(uni.TimeNS, dram.TimeNS),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var nvmN, xN, uN []float64
+	for i, w := range ws {
+		r := rows[i]
+		nvmN = append(nvmN, r.nvm)
+		xN = append(xN, r.x)
+		uN = append(uN, r.u)
+		t.AddRow(w.Name, 1.00, r.nvm, r.x, r.u)
 	}
 	t.AddRow(avgLabel, 1.00, mean(nvmN), mean(xN), mean(uN))
 	return t, nil
@@ -252,10 +285,13 @@ func (s *Suite) Fig11() (*Table, error) {
 		Columns: []string{"Benchmark", "global", "+local", "+partition",
 			"+initial", "total gain vs NVM-only"},
 	}
-	for _, w := range s.evalSuite() {
+	ws := s.evalSuite()
+	rows := make([][]interface{}, len(ws))
+	err := forEachRow(s.workers(), len(ws), func(i int) error {
+		w := ws[i]
 		nvm, err := s.runStatic(w, m, "nvm-only", nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		times := []float64{float64(nvm.TimeNS)}
 		for step := 1; step <= 4; step++ {
@@ -266,20 +302,27 @@ func (s *Suite) Fig11() (*Table, error) {
 			cfg.EnableInitial = step >= 4
 			res, _, err := s.runUnimem(w, m, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			times = append(times, float64(res.TimeNS))
 		}
 		total := times[0] - times[4]
 		row := []interface{}{w.Name}
-		for i := 1; i <= 4; i++ {
+		for j := 1; j <= 4; j++ {
 			share := 0.0
 			if total > 0 {
-				share = (times[i-1] - times[i]) / total
+				share = (times[j-1] - times[j]) / total
 			}
 			row = append(row, fmtPct(share))
 		}
 		row = append(row, fmtPct((times[0]-times[4])/times[0]))
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
@@ -297,22 +340,32 @@ func (s *Suite) Table4() (*Table, error) {
 		Columns: []string{"Benchmark", "Migrations", "Migrated MB",
 			"Pure runtime cost", "% overlap", "Decisions"},
 	}
-	for _, w := range s.evalSuite() {
+	ws := s.evalSuite()
+	rows := make([][]interface{}, len(ws))
+	err := forEachRow(s.workers(), len(ws), func(i int) error {
+		w := ws[i]
 		res, col, err := s.runUnimem(w, m, s.unimemConfig(m))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r0 := res.Ranks[0]
 		cost := 0.0
 		if r0.TimeNS > 0 {
 			cost = r0.OverheadNS / float64(r0.TimeNS)
 		}
-		t.AddRow(w.Name,
+		rows[i] = []interface{}{w.Name,
 			r0.Migrations.Migrations,
 			fmtMB(r0.Migrations.BytesMigrated),
 			fmtPct(cost),
 			fmtPct(col.OverlapFrac()),
-			col.Decisions())
+			col.Decisions()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "per-rank (rank 0) counts; paper reports per-job aggregates of the same order")
 	return t, nil
@@ -332,24 +385,33 @@ func (s *Suite) Fig12() (*Table, error) {
 	if s.Quick {
 		scales = []int{4, 16}
 	}
-	for _, p := range scales {
+	rows := make([][]interface{}, len(scales))
+	err := forEachRow(s.workers(), len(scales), func(i int) error {
+		p := scales[i]
 		w := workloads.NewCG("D", p)
 		opts := s.opts()
 		opts.Ranks = p
 		dram, err := s.runWith(w, dm, opts, "dram-only")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nvm, err := s.runWith(w, m, opts, "nvm-only")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		col := NewCollector()
 		uni, err := s.runWithFactory(w, m, opts, col.Factory(s.unimemConfig(m)))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(p, 1.00, norm(nvm.TimeNS, dram.TimeNS), norm(uni.TimeNS, dram.TimeNS))
+		rows[i] = []interface{}{p, 1.00, norm(nvm.TimeNS, dram.TimeNS), norm(uni.TimeNS, dram.TimeNS)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -363,24 +425,34 @@ func (s *Suite) Fig13() (*Table, error) {
 		Columns: []string{"Benchmark", "NVM-only", "128MB", "256MB", "512MB"},
 	}
 	base := machine.PlatformA().WithNVMBandwidthFraction(0.5)
-	for _, w := range s.evalSuite() {
+	ws := s.evalSuite()
+	rows := make([][]interface{}, len(ws))
+	err := forEachRow(s.workers(), len(ws), func(i int) error {
+		w := ws[i]
 		dram, err := s.runStatic(w, dramMachineFor(base), "dram-only", nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nvm, err := s.runStatic(w, base, "nvm-only", nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []interface{}{w.Name, norm(nvm.TimeNS, dram.TimeNS)}
 		for _, mb := range []int64{128, 256, 512} {
 			m := base.WithDRAMCapacity(mb << 20)
 			uni, _, err := s.runUnimem(w, m, s.unimemConfig(m))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row = append(row, norm(uni.TimeNS, dram.TimeNS))
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,

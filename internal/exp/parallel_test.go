@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRowOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		out := make([]int, 10)
+		err := forEachRow(workers, len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if err := forEachRow(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachRowFirstErrorByIndex(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := forEachRow(workers, 8, func(i int) error {
+			switch i {
+			case 2:
+				return errA
+			case 5:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: err = %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForEachRowParallelRunsAll(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := forEachRow(4, 8, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 8 {
+		t.Errorf("parallel mode ran %d cells, want all 8", ran.Load())
+	}
+}
+
+// renderExp runs one experiment on a fresh quick suite with the given
+// worker count and returns the rendered table bytes.
+func renderExp(t *testing.T, id string, workers int) []byte {
+	t.Helper()
+	s := quickSuite()
+	s.Workers = workers
+	_, reg := Registry()
+	tbl, err := reg[id](s)
+	if err != nil {
+		t.Fatalf("%s (workers=%d): %v", id, workers, err)
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	return buf.Bytes()
+}
+
+// TestSerialParallelEquivalence is the golden gate of the parallel engine:
+// for each experiment the rendered table must be byte-identical whether the
+// cells run serially or fanned across a worker pool (fig9 and table4 are
+// the required representatives; fig4 exercises the pinned-placement cells).
+func TestSerialParallelEquivalence(t *testing.T) {
+	for _, id := range []string{"fig9", "table4", "fig4"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := renderExp(t, id, 1)
+			parallel := renderExp(t, id, 4)
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("serial and parallel renditions differ:\n--- serial ---\n%s--- parallel ---\n%s",
+					serial, parallel)
+			}
+		})
+	}
+}
+
+// TestParallelSuiteCacheConcurrency drives a whole experiment through the
+// worker pool on one shared suite twice; the second pass must be served
+// entirely from the cache. Under -race this doubles as the concurrent-
+// access check for RunCache and Suite.calibration.
+func TestParallelSuiteCacheConcurrency(t *testing.T) {
+	s := quickSuite()
+	s.Workers = 8
+	first, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := s.CacheStats()
+	second, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := s.CacheStats()
+	if end.Misses != mid.Misses {
+		t.Errorf("second fig9 executed %d fresh baseline runs, want 0", end.Misses-mid.Misses)
+	}
+	if end.Hits <= mid.Hits {
+		t.Error("second fig9 recorded no cache hits")
+	}
+	var a, b bytes.Buffer
+	first.Render(&a)
+	second.Render(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("cached re-run of fig9 rendered differently")
+	}
+}

@@ -1,0 +1,54 @@
+package exp
+
+import "sync"
+
+// forEachRow executes fn(i) for every index in [0, n), fanning the calls
+// across at most workers goroutines. It is the experiment engine's cell
+// scheduler: every figure/table runner computes its independent rows (or
+// cells) through it, writing each result into a preallocated slot so the
+// assembled table has the same deterministic row order regardless of
+// worker count.
+//
+// With workers <= 1 the calls run serially on the calling goroutine and
+// the first error aborts the remaining indices. With workers > 1 all
+// indices run and the first error in index order is returned, so the
+// reported failure is the same one a serial run would have surfaced.
+func forEachRow(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"unimem/internal/app"
@@ -22,6 +23,14 @@ type Suite struct {
 	Seed  uint64
 	// Quick caps iteration counts for use under testing.B.
 	Quick bool
+	// Workers is the worker-pool width used to fan independent
+	// (experiment x benchmark x machine) cells across goroutines; <= 1
+	// runs every cell serially. Table row/column order and cell values
+	// are identical at every width (see forEachRow and RunCache).
+	Workers int
+	// Cache memoizes baseline runs (DRAM-only, NVM-only, pinned-static,
+	// X-Mem) shared across experiments. Nil disables memoization.
+	Cache *RunCache
 
 	mu    sync.Mutex
 	calib map[string]model.Calibration
@@ -29,8 +38,23 @@ type Suite struct {
 
 // NewSuite returns a Suite with the paper's defaults.
 func NewSuite() *Suite {
-	return &Suite{Class: "C", Ranks: 4, Seed: 0xD07, calib: map[string]model.Calibration{}}
+	return &Suite{
+		Class: "C", Ranks: 4, Seed: 0xD07,
+		Cache: NewRunCache(),
+		calib: map[string]model.Calibration{},
+	}
 }
+
+// workers returns the effective worker-pool width.
+func (s *Suite) workers() int {
+	if s.Workers > 1 {
+		return s.Workers
+	}
+	return 1
+}
+
+// CacheStats snapshots the run cache's hit/miss counters.
+func (s *Suite) CacheStats() CacheStats { return s.Cache.Stats() }
 
 // Runner is one experiment entry point.
 type Runner func(*Suite) (*Table, error)
@@ -96,9 +120,15 @@ func (s *Suite) unimemConfig(m *machine.Machine) core.Config {
 	return cfg
 }
 
-// runStatic executes the workload under a fixed placement.
+// runStatic executes the workload under a fixed placement, memoized in the
+// run cache: the DRAM-only / NVM-only / pinned baselines shared by many
+// experiments execute once per distinct (workload, machine, placement).
 func (s *Suite) runStatic(w *workloads.Workload, m *machine.Machine, name string, inDRAM func(string) bool) (*app.Result, error) {
-	return app.Run(s.prep(w), m, s.opts(), app.NewStaticFactory(name, inDRAM))
+	w = s.prep(w)
+	opts := s.opts()
+	return s.Cache.Do(keyFor(w, m, "static:"+name, opts), func() (*app.Result, error) {
+		return app.Run(w, m, opts, app.NewStaticFactory(name, inDRAM))
+	})
 }
 
 // runUnimem executes the workload under the full Unimem runtime and
@@ -110,14 +140,19 @@ func (s *Suite) runUnimem(w *workloads.Workload, m *machine.Machine, cfg core.Co
 }
 
 // runXMem executes the offline-profiling baseline: profile pass, static
-// placement, measured run.
+// placement, measured run. The whole composite (profile + placement +
+// measured run) is memoized as one cache entry.
 func (s *Suite) runXMem(w *workloads.Workload, m *machine.Machine) (*app.Result, error) {
-	prof, err := xmem.Profile(s.prep(w), m, s.opts())
-	if err != nil {
-		return nil, err
-	}
-	set := xmem.BuildPlacement(w, m, prof)
-	return app.Run(s.prep(w), m, s.opts(), xmem.Factory(set))
+	pw := s.prep(w)
+	opts := s.opts()
+	return s.Cache.Do(keyFor(pw, m, "xmem", opts), func() (*app.Result, error) {
+		prof, err := xmem.Profile(pw, m, opts)
+		if err != nil {
+			return nil, err
+		}
+		set := xmem.BuildPlacement(w, m, prof)
+		return app.Run(pw, m, opts, xmem.Factory(set))
+	})
 }
 
 func (s *Suite) opts() app.Options {
@@ -126,9 +161,13 @@ func (s *Suite) opts() app.Options {
 
 // runWith executes a workload under a static all-NVM placement with
 // explicit options (used by the strong-scaling experiment, which overrides
-// the rank count per data point).
+// the rank count per data point). Memoized like runStatic; the explicit
+// opts.Ranks is part of the key.
 func (s *Suite) runWith(w *workloads.Workload, m *machine.Machine, opts app.Options, name string) (*app.Result, error) {
-	return app.Run(s.prep(w), m, opts, app.NewStaticFactory(name, nil))
+	w = s.prep(w)
+	return s.Cache.Do(keyFor(w, m, "static:"+name, opts), func() (*app.Result, error) {
+		return app.Run(w, m, opts, app.NewStaticFactory(name, nil))
+	})
 }
 
 // runWithFactory is runWith for arbitrary manager factories.
@@ -157,6 +196,16 @@ func (c *Collector) Factory(cfg core.Config) app.ManagerFactory {
 	}
 }
 
+// byRank returns the collected runtimes sorted by rank. Factories run on
+// concurrently scheduled rank goroutines, so the append order of Runtimes
+// is nondeterministic; accessors must iterate in rank order to keep
+// reported values bit-identical across runs.
+func (c *Collector) byRank() []*core.Runtime {
+	out := append([]*core.Runtime(nil), c.Runtimes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank() < out[j].Rank() })
+	return out
+}
+
 // OverlapFrac returns the mean helper-thread overlap fraction across ranks.
 func (c *Collector) OverlapFrac() float64 {
 	c.mu.Lock()
@@ -165,7 +214,7 @@ func (c *Collector) OverlapFrac() float64 {
 		return 0
 	}
 	var sum float64
-	for _, r := range c.Runtimes {
+	for _, r := range c.byRank() {
 		sum += r.MoverStats().OverlapFrac()
 	}
 	return sum / float64(len(c.Runtimes))
@@ -175,8 +224,10 @@ func (c *Collector) OverlapFrac() float64 {
 func (c *Collector) Decisions() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, r := range c.Runtimes {
-		return r.Decisions
+	for _, r := range c.byRank() {
+		if r.Rank() == 0 {
+			return r.Decisions
+		}
 	}
 	return 0
 }

@@ -3,6 +3,30 @@
 // series the paper reports, normalized the same way (execution time
 // relative to DRAM-only). The cmd/unimem-bench CLI and the repository's
 // testing.B benchmarks both drive this package.
+//
+// # Parallel experiment engine
+//
+// The figures and tables decompose into independent (experiment x
+// benchmark x machine) cells: each cell is a handful of deterministic
+// app.Run executions on a private simulated world. Suite fans those cells
+// across a worker pool (Suite.Workers, scheduled by forEachRow) while
+// assembling rows in a fixed order, so the rendered tables are
+// byte-identical at every worker count.
+//
+// # Run cache
+//
+// Many experiments re-measure the same baselines: fig9, fig10 and fig13
+// all need the DRAM-only time of every benchmark on Platform A; fig13
+// reuses fig9's NVM-only column; fig4's two NVM configurations share one
+// DRAM-only twin. Suite.Cache memoizes every baseline app.Run (static
+// placements and the X-Mem composite) under a RunKey of (workload,
+// machine performance fingerprint, placement strategy, options), with
+// singleflight semantics so concurrent workers never duplicate an
+// in-flight run. Because the whole simulator is deterministic in its
+// seed, a cached result is bit-identical to a fresh run; only Unimem
+// runs stay uncached (their Config varies per cell and callers inspect
+// the per-run Collector). Cached *app.Result values are shared by
+// pointer and must be treated as immutable.
 package exp
 
 import (
@@ -14,12 +38,12 @@ import (
 
 // Table is one regenerated paper artifact.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 	// Notes carry paper-vs-measured commentary rendered under the table.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends a row, stringifying the cells.

@@ -27,25 +27,35 @@ func (s *Suite) TechSweep() (*Table, error) {
 	base := machine.PlatformA()
 	cg := workloads.NewCG(s.Class, s.Ranks)
 	mg := workloads.NewMG(s.Class, s.Ranks)
-	for _, tech := range machine.Table1()[1:] {
+	techs := machine.Table1()[1:]
+	rows := make([][]interface{}, len(techs))
+	err := forEachRow(s.workers(), len(techs), func(i int) error {
+		tech := techs[i]
 		m := machine.TechMachine(base, tech)
 		dm := dramMachineFor(m)
 		row := []interface{}{tech.Name, describeTiers(m)}
 		for _, w := range []*workloads.Workload{cg, mg} {
 			dram, err := s.runStatic(w, dm, "dram-only", nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			nvm, err := s.runStatic(w, m, "nvm-only", nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			uni, _, err := s.runUnimem(w, m, s.unimemConfig(m))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row = append(row, norm(nvm.TimeNS, dram.TimeNS), norm(uni.TimeNS, dram.TimeNS))
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,

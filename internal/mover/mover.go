@@ -1,9 +1,11 @@
 // Package mover implements Unimem's proactive data movement mechanism
 // (§3.1.2 "Calculation of data movement cost" and §3.3): a helper thread —
 // a real goroutine — that runs in parallel with the application, consuming
-// migration requests from a shared FIFO queue, performing the actual byte
-// copies between tiers, and serving as the synchronization point the main
-// thread checks at the beginning of each phase.
+// migration requests from a shared FIFO queue, and serving as the
+// synchronization point the main thread checks at the beginning of each
+// phase. The byte copies themselves are applied to the simulated heap at
+// those synchronization points, in queue order, so simulated results do
+// not depend on goroutine scheduling (see Mover's determinism contract).
 //
 // Time accounting is in virtual nanoseconds: a migration occupies the
 // helper thread for the machine's copy time, starting no earlier than both
@@ -70,15 +72,26 @@ func (s Stats) OverlapFrac() float64 {
 const SyncCheckNS = 200
 
 // Mover owns the helper thread for one rank.
+//
+// Determinism contract: the helper goroutine consumes the FIFO, but a
+// request's effect on the simulated heap (the tier change TierOf observes)
+// is applied only at the main thread's synchronization points — Drain at
+// each phase boundary, Sync for dependence-required tickets, Stop at loop
+// end — in FIFO order. The virtual copy timeline (freeAtNS, exposed
+// stalls) depends only on enqueue times and queue order, so results are
+// bit-identical regardless of how the goroutines are scheduled; this is
+// what lets the experiment engine run many simulated worlds concurrently.
 type Mover struct {
 	heap *memsys.Heap
 	reqs chan Request
 
 	mu          sync.Mutex
 	cond        *sync.Cond
-	freeAtNS    int64 // helper's virtual availability
-	nextSeq     uint64
-	doneSeq     uint64
+	freeAtNS    int64  // helper's virtual availability
+	nextSeq     uint64 // last ticket handed out by Enqueue
+	recvSeq     uint64 // last ticket the helper pulled off the FIFO
+	doneSeq     uint64 // last ticket applied to the heap
+	pending     []Request
 	completions map[uint64]Completion
 	stats       Stats
 	running     bool
@@ -109,7 +122,8 @@ func (m *Mover) Start() {
 	go m.run()
 }
 
-// Stop drains the queue and terminates the helper thread.
+// Stop drains the queue, applies every outstanding move, and terminates
+// the helper thread.
 func (m *Mover) Stop() {
 	m.mu.Lock()
 	if !m.running {
@@ -117,19 +131,37 @@ func (m *Mover) Stop() {
 		return
 	}
 	m.running = false
+	upto := m.nextSeq
 	m.mu.Unlock()
 	close(m.reqs)
 	m.wg.Wait()
+	m.mu.Lock()
+	m.applyLocked(upto)
+	m.mu.Unlock()
 }
 
-// run is the helper thread's loop: pop a request, perform the real copy,
-// account virtual time, post the completion.
+// run is the helper thread's loop: pull requests off the FIFO into the
+// pending queue and wake any synchronization-point waiter.
 func (m *Mover) run() {
 	defer m.wg.Done()
 	for req := range m.reqs {
-		bytes, err := m.heap.MoveChunk(req.Chunk, req.To)
-
 		m.mu.Lock()
+		m.pending = append(m.pending, req)
+		m.recvSeq = req.seq
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// applyLocked pops pending requests with seq <= upto and applies them in
+// FIFO order: perform the real copy, advance the virtual copy timeline,
+// post the completion. Caller holds m.mu and must have waited for
+// recvSeq >= upto.
+func (m *Mover) applyLocked(upto uint64) {
+	for len(m.pending) > 0 && m.pending[0].seq <= upto {
+		req := m.pending[0]
+		m.pending = m.pending[1:]
+		bytes, err := m.heap.MoveChunk(req.Chunk, req.To)
 		start := req.EnqueueNS
 		if m.freeAtNS > start {
 			start = m.freeAtNS
@@ -148,8 +180,6 @@ func (m *Mover) run() {
 		m.freeAtNS = end
 		m.completions[req.seq] = Completion{Req: req, StartNS: start, EndNS: end, BytesMoved: bytes, Err: err}
 		m.doneSeq = req.seq
-		m.cond.Broadcast()
-		m.mu.Unlock()
 	}
 }
 
@@ -178,9 +208,10 @@ func (m *Mover) Sync(seq uint64, nowNS int64) (stallNS int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.SyncChecks++
-	for m.doneSeq < seq {
+	for m.recvSeq < seq {
 		m.cond.Wait()
 	}
+	m.applyLocked(seq)
 	var latest int64
 	for s := seq; s > 0; s-- {
 		c, ok := m.completions[s]
@@ -198,6 +229,23 @@ func (m *Mover) Sync(seq uint64, nowNS int64) (stallNS int64) {
 		return stall
 	}
 	return 0
+}
+
+// Drain blocks (in real time) until every request enqueued so far has been
+// applied to the heap, without charging any virtual time. The runtime
+// calls it at each phase boundary so that a migration's heap-state effect
+// becomes visible at a deterministic virtual point (the boundary after its
+// enqueue) instead of whenever the helper goroutine happens to be
+// scheduled — the virtual copy timeline (freeAtNS, exposed stalls) is
+// unaffected.
+func (m *Mover) Drain() {
+	m.mu.Lock()
+	upto := m.nextSeq
+	for m.recvSeq < upto {
+		m.cond.Wait()
+	}
+	m.applyLocked(upto)
+	m.mu.Unlock()
 }
 
 // Stats returns a snapshot of the mover's accounting.

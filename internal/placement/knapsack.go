@@ -3,6 +3,12 @@
 // over DRAM capacity solved with dynamic programming, the two search
 // strategies — phase-local and cross-phase global — and the construction of
 // the proactive migration schedule the helper thread executes.
+//
+// Inputs arrive as per-phase benefit maps (the Eq. 2/3 estimates of how
+// much faster a phase runs with a chunk DRAM-resident) and movement costs
+// (Eq. 4: copy time minus the overlap the helper thread can hide); the
+// package is pure — callers supply both through Input callbacks, and all
+// map iteration is order-normalized so decisions are deterministic.
 package placement
 
 // Item is one knapsack candidate: a chunk with its size and Eq. 5 weight.

@@ -4,6 +4,12 @@
 // set-associative LLC simulator and compares the misses the cache actually
 // produces against the post-cache access counts the workload declares.
 //
+// Those post-cache counts are what the paper's Eq. 1 prices (number of
+// main-memory accesses x cache line size over bandwidth) and what the
+// sampled counters of §3.1.1 estimate at runtime, so their fidelity per
+// access pattern (§2.2: streaming, stencil, random, pointer-chasing)
+// decides whether every downstream model sees realistic inputs.
+//
 // The Unimem runtime itself consumes the analytic counts (through the
 // counter emulation); this package is how we keep those counts honest —
 // the workload generators' cache-attenuation model (workloads.atten) was

@@ -1,8 +1,14 @@
 // Package trace generates synthetic address traces for the access patterns
 // the paper characterizes (§2.2): streaming, stencil, random, and
-// pointer-chasing. Traces address the stable simulated address range of a
-// memsys chunk and are consumed by the cachesim validation tests and by the
-// trace-driven profiling mode of the counter emulation.
+// pointer-chasing — the same taxonomy whose memory-level parallelism makes
+// an object bandwidth-sensitive or latency-sensitive (machine.Pattern.MLP,
+// feeding the Eq. 2/3 benefit estimates). Traces address the stable
+// simulated address range of a memsys chunk and are consumed by the
+// cachesim validation tests and by the trace-driven profiling mode of the
+// counter emulation.
+//
+// Generation is deterministic given the caller's xrand stream, like every
+// other stochastic input in the repository.
 package trace
 
 import (

@@ -7,6 +7,12 @@
 // Number Generators", OOPSLA 2014): a tiny state-passing generator with good
 // statistical quality for simulation purposes and trivially cheap splitting,
 // which lets each (rank, phase, iteration) tuple own an independent stream.
+//
+// This determinism is load-bearing beyond reproducibility: the experiment
+// engine's run cache (internal/exp) memoizes whole simulated runs on the
+// premise that equal (workload, machine, placement, seed) inputs produce
+// bit-identical results, which holds only because every random draw flows
+// from the seed through this package.
 package xrand
 
 import "math"
