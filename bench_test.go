@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"unimem"
+	"unimem/internal/placement"
 )
 
 // runExp executes one experiment per benchmark iteration.
@@ -155,3 +156,46 @@ func BenchmarkAblation(b *testing.B) { runExp(b, "ablation") }
 // BenchmarkTechSweep evaluates the named Table 1 technologies (STT-RAM,
 // PCRAM, ReRAM) end to end: NVM-only vs Unimem on CG and MG.
 func BenchmarkTechSweep(b *testing.B) { runExp(b, "techsweep") }
+
+// BenchmarkTierscape regenerates the N-tier platform comparison
+// (fastest-only / slowest-only / static / Unimem on KNL-like, CXL and
+// HBM+DDR+NVM machines); reports the three-tier CG Unimem normalized time.
+func BenchmarkTierscape(b *testing.B) {
+	tbl := runExp(b, "tierscape")
+	for _, row := range tbl.Rows {
+		if row[0] == "HBM+DDR+NVM" && row[1] == "CG" {
+			if v, err := strconv.ParseFloat(row[5], 64); err == nil {
+				b.ReportMetric(v, "CG-3tier-x")
+			}
+		}
+	}
+}
+
+// BenchmarkTieredPlacement measures the N-tier placement hot path: one
+// multiple-choice-knapsack solve at the scale of the richest decision
+// (hundreds of chunks, a three-tier machine with two constrained tiers) —
+// the critical-path cost a multi-tier decision adds over the two-tier DP.
+func BenchmarkTieredPlacement(b *testing.B) {
+	const items = 256
+	caps := []int64{128 << 20, 256 << 20, -1}
+	in := make([]placement.TieredItem, items)
+	for i := range in {
+		size := int64(1+i%31) << 20
+		in[i] = placement.TieredItem{
+			Chunk: "c" + strconv.Itoa(i),
+			Size:  size,
+			WeightNS: []float64{
+				float64((i*2654435761)%1000) * 1e4,
+				float64((i*40503)%1000) * 1e4,
+				0,
+			},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := placement.SolveTiered(in, caps)
+		if len(plan.Assign) != items {
+			b.Fatal("incomplete assignment")
+		}
+	}
+}

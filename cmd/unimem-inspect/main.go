@@ -1,13 +1,17 @@
 // Command unimem-inspect runs one benchmark under the Unimem runtime and
 // dumps the runtime's internals: the calibration, the candidate plans with
 // their predicted iteration times, the winning strategy's desired DRAM
-// sets and migration schedule, and the per-rank migration/overlap
-// statistics — the observability companion to cmd/unimem-bench.
+// sets and migration schedule (or, on multi-tier platforms, the
+// multiple-choice-knapsack tier assignment), per-tier residency, and the
+// per-rank migration/overlap statistics — the observability companion to
+// cmd/unimem-bench.
 //
 // Usage:
 //
 //	unimem-inspect -workload SP -nvm lat4
 //	unimem-inspect -workload Nek5000 -nvm halfbw -ranks 4
+//	unimem-inspect -workload CG -platform hbm-ddr-nvm
+//	unimem-inspect -workload MG -platform knl
 package main
 
 import (
@@ -21,31 +25,60 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("workload", "CG", "CG|FT|BT|LU|SP|MG|Nek5000")
-		class = flag.String("class", "C", "NPB class")
-		ranks = flag.Int("ranks", 4, "world size")
-		nvm   = flag.String("nvm", "halfbw", "NVM config: halfbw|quarterbw|lat2|lat4|edison")
-		dram  = flag.Int64("dram-mb", 256, "per-node DRAM in MiB")
+		name     = flag.String("workload", "CG", "CG|FT|BT|LU|SP|MG|Nek5000")
+		class    = flag.String("class", "C", "NPB class")
+		ranks    = flag.Int("ranks", 4, "world size")
+		nvm      = flag.String("nvm", "halfbw", "NVM config for -platform a: halfbw|quarterbw|lat2|lat4|edison")
+		platform = flag.String("platform", "a", "platform: a (paper two-tier)|knl|cxl|hbm-ddr-nvm")
+		dram     = flag.Int64("dram-mb", 0, "fastest-tier capacity in MiB (0: platform default; two-tier default 256)")
 	)
 	flag.Parse()
 
-	var m *unimem.Machine
-	switch *nvm {
-	case "halfbw":
-		m = unimem.PlatformA().WithNVMBandwidthFraction(0.5)
-	case "quarterbw":
-		m = unimem.PlatformA().WithNVMBandwidthFraction(0.25)
-	case "lat2":
-		m = unimem.PlatformA().WithNVMLatencyFactor(2)
-	case "lat4":
-		m = unimem.PlatformA().WithNVMLatencyFactor(4)
-	case "edison":
-		m = unimem.Edison()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown NVM config %q\n", *nvm)
+	nvmSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "nvm" {
+			nvmSet = true
+		}
+	})
+	if nvmSet && *platform != "a" {
+		fmt.Fprintf(os.Stderr, "-nvm only applies to -platform a; platform %q has fixed tiers\n", *platform)
 		os.Exit(2)
 	}
-	m = m.WithDRAMCapacity(*dram << 20)
+
+	var m *unimem.Machine
+	switch *platform {
+	case "a":
+		switch *nvm {
+		case "halfbw":
+			m = unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+		case "quarterbw":
+			m = unimem.PlatformA().WithNVMBandwidthFraction(0.25)
+		case "lat2":
+			m = unimem.PlatformA().WithNVMLatencyFactor(2)
+		case "lat4":
+			m = unimem.PlatformA().WithNVMLatencyFactor(4)
+		case "edison":
+			m = unimem.Edison()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown NVM config %q\n", *nvm)
+			os.Exit(2)
+		}
+		if *dram == 0 {
+			*dram = 256
+		}
+	case "knl":
+		m = unimem.PlatformKNL()
+	case "cxl":
+		m = unimem.PlatformCXL()
+	case "hbm-ddr-nvm":
+		m = unimem.PlatformHBMDDRNVM()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	if *dram > 0 {
+		m = m.WithDRAMCapacity(*dram << 20)
+	}
 
 	var w *unimem.Workload
 	if *name == "Nek5000" {
@@ -55,24 +88,29 @@ func main() {
 	}
 
 	cal := unimem.Calibrate(m)
-	fmt.Printf("machine  %s  DRAM=%dMiB\n", m.Name, m.DRAMSpec.CapacityBytes>>20)
-	fmt.Printf("calib    %s\n\n", cal)
+	fmt.Printf("machine  %s  tiers:", m.Name)
+	for t := 0; t < m.NumTiers(); t++ {
+		ts := m.Tier(unimem.TierKind(t))
+		fmt.Printf("  [%d]%s %dMiB %.1fGB/s %gns", t, ts.Name,
+			ts.CapacityBytes>>20, ts.BandwidthBps/1e9, ts.ReadLatNS)
+	}
+	fmt.Printf("\ncalib    %s\n\n", cal)
 
 	cfg := unimem.DefaultConfig()
 	cfg.Calibration = cal
 
-	dramRes, err := unimem.RunDRAMOnly(w, m)
+	fastRes, err := unimem.RunFastestOnly(w, m)
 	check(err)
-	nvmRes, err := unimem.RunNVMOnly(w, m)
+	slowRes, err := unimem.RunNVMOnly(w, m)
 	check(err)
-	res, rts, err := unimem.Run(w, m, cfg)
+	res, rts, err := unimem.RunTiered(w, m, cfg)
 	check(err)
 
-	norm := func(t int64) float64 { return float64(t) / float64(dramRes.TimeNS) }
-	fmt.Printf("%-12s %12s %8s\n", "run", "time", "vs DRAM")
-	fmt.Printf("%-12s %12.1fms %8.2fx\n", "dram-only", float64(dramRes.TimeNS)/1e6, 1.0)
-	fmt.Printf("%-12s %12.1fms %8.2fx\n", "nvm-only", float64(nvmRes.TimeNS)/1e6, norm(nvmRes.TimeNS))
-	fmt.Printf("%-12s %12.1fms %8.2fx\n\n", "unimem", float64(res.TimeNS)/1e6, norm(res.TimeNS))
+	norm := func(t int64) float64 { return float64(t) / float64(fastRes.TimeNS) }
+	fmt.Printf("%-14s %12s %8s\n", "run", "time", "vs fast")
+	fmt.Printf("%-14s %12.1fms %8.2fx\n", "fastest-only", float64(fastRes.TimeNS)/1e6, 1.0)
+	fmt.Printf("%-14s %12.1fms %8.2fx\n", "slowest-only", float64(slowRes.TimeNS)/1e6, norm(slowRes.TimeNS))
+	fmt.Printf("%-14s %12.1fms %8.2fx\n\n", "unimem", float64(res.TimeNS)/1e6, norm(res.TimeNS))
 
 	sort.Slice(rts, func(a, b int) bool { return rts[a].Rank() < rts[b].Rank() })
 	for _, rt := range rts {
@@ -85,38 +123,56 @@ func main() {
 			rr.OverheadNS/float64(rr.TimeNS)*100)
 	}
 
+	fmt.Printf("\nrank 0 per-tier residency:\n")
+	for _, u := range res.Tiers {
+		fmt.Printf("  tier %d %-5s %6dMiB resident, %d moves in\n",
+			u.Tier, u.Name, u.ResidentBytes>>20, u.MovesIn)
+	}
+
 	rt := rts[0]
-	fmt.Printf("\nrank 0 candidate plans:\n")
-	for _, p := range rt.Candidates {
-		fmt.Printf("  %-20s predicted=%.2fms adoption=%d schedule=%d\n",
-			p.Strategy, p.PredictedIterNS/1e6, len(p.Adoption), len(p.Schedule))
-	}
-	plan := rt.Plan()
-	if plan == nil {
-		return
-	}
-	fmt.Printf("\nwinning strategy: %s\n", plan.Strategy)
-	printed := map[string]bool{}
-	for pid, set := range plan.Desired {
-		names := make([]string, 0, len(set))
-		for n := range set {
-			names = append(names, n)
+	if tp := rt.TierPlan(); tp != nil {
+		// Multi-tier machines: dump the multiple-choice-knapsack assignment.
+		fmt.Printf("\nmulti-tier placement (%s solver, total weight %.2fms):\n",
+			tp.Solver, tp.TotalWeightNS/1e6)
+		byTier := make(map[int][]string)
+		for chunk, tier := range tp.Assign {
+			byTier[tier] = append(byTier[tier], chunk)
 		}
-		sort.Strings(names)
-		key := fmt.Sprint(names)
-		if printed[key] {
-			continue
-		}
-		printed[key] = true
-		fmt.Printf("  phase %d desired DRAM: %v\n", pid, names)
-	}
-	if len(plan.Schedule) > 0 {
-		fmt.Println("\nrecurring migration schedule (per iteration):")
-		for _, mv := range plan.Schedule {
-			fmt.Printf("  %v\n", mv)
+		for t := 0; t < m.NumTiers(); t++ {
+			chunks := byTier[t]
+			sort.Strings(chunks)
+			fmt.Printf("  tier %d %-5s: %v\n", t, m.TierName(unimem.TierKind(t)), chunks)
 		}
 	}
-	fmt.Printf("\nrank 0 final DRAM residents: %v\n", rt.DRAMResidents())
+	if plan := rt.Plan(); plan != nil {
+		fmt.Printf("\nrank 0 candidate plans:\n")
+		for _, p := range rt.Candidates {
+			fmt.Printf("  %-20s predicted=%.2fms adoption=%d schedule=%d\n",
+				p.Strategy, p.PredictedIterNS/1e6, len(p.Adoption), len(p.Schedule))
+		}
+		fmt.Printf("\nwinning strategy: %s\n", plan.Strategy)
+		printed := map[string]bool{}
+		for pid, set := range plan.Desired {
+			names := make([]string, 0, len(set))
+			for n := range set {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			key := fmt.Sprint(names)
+			if printed[key] {
+				continue
+			}
+			printed[key] = true
+			fmt.Printf("  phase %d desired DRAM: %v\n", pid, names)
+		}
+		if len(plan.Schedule) > 0 {
+			fmt.Println("\nrecurring migration schedule (per iteration):")
+			for _, mv := range plan.Schedule {
+				fmt.Printf("  %v\n", mv)
+			}
+		}
+		fmt.Printf("\nrank 0 final DRAM residents: %v\n", rt.DRAMResidents())
+	}
 
 	fmt.Println("\nper-phase mean durations (across iterations, rank 0):")
 	for i, d := range res.PhaseNS {

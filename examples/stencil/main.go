@@ -62,7 +62,7 @@ func main() {
 	must(err)
 
 	fmt.Printf("2-D heat stencil, %d ranks, %d steps, %d MiB grids, DRAM %d MiB/node\n\n",
-		ranks, steps, gridMB, m.DRAMSpec.CapacityBytes>>20)
+		ranks, steps, gridMB, m.Fastest().CapacityBytes>>20)
 	norm := func(t int64) float64 { return float64(t) / float64(dram.TimeNS) }
 	fmt.Printf("  dram-only  %.2fx\n", 1.0)
 	fmt.Printf("  nvm-only   %.2fx\n", norm(nvm.TimeNS))

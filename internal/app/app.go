@@ -136,11 +136,12 @@ func Run(w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFact
 	opts.fill(w)
 	world := mpisim.NewWorld(opts.Ranks, m)
 
-	// One DRAM coordination service per node.
+	// One set of tier coordination services per node (a NodeService per
+	// shared tier; the slowest tier stays per-rank private).
 	nNodes := (opts.Ranks + opts.RanksPerNode - 1) / opts.RanksPerNode
-	services := make([]*memsys.NodeService, nNodes)
-	for i := range services {
-		services[i] = memsys.NewNodeService(m.DRAMSpec.CapacityBytes)
+	nodes := make([]*memsys.NodeTiers, nNodes)
+	for i := range nodes {
+		nodes[i] = memsys.NewNodeTiers(m)
 	}
 
 	res := &Result{Workload: w.Name, Manager: "", Ranks: make([]RankResult, opts.Ranks)}
@@ -150,7 +151,7 @@ func Run(w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFact
 
 	world.Run(func(c *mpisim.Comm) {
 		rank := c.Rank()
-		heap := memsys.NewHeap(m, services[rank/opts.RanksPerNode], memsys.HeapOptions{
+		heap := memsys.NewHeap(m, nodes[rank/opts.RanksPerNode], memsys.HeapOptions{
 			MaterializeCap:   opts.MaterializeCap,
 			DefaultChunkSize: opts.ChunkSize,
 		})

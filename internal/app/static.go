@@ -9,19 +9,47 @@ import (
 
 // Static is a placement manager with a fixed policy decided at allocation
 // time and no runtime activity: it models DRAM-only and NVM-only systems
-// (under machines whose tiers are configured accordingly) and the paper's
-// Fig. 4 experiments that pin a chosen object in DRAM.
+// (under machines whose tiers are configured accordingly), the paper's
+// Fig. 4 experiments that pin a chosen object in DRAM, and — through
+// NewTieredStaticFactory — arbitrary static assignments on N-tier
+// hierarchies.
 type Static struct {
 	name string
-	// inDRAM decides the initial (and permanent) tier per object name.
-	inDRAM func(object string) bool
+	// tierOf decides the initial (and permanent) tier per object name; nil
+	// means everything goes to the slowest tier.
+	tierOf func(object string, m *machine.Machine) machine.TierKind
 }
 
 // NewStaticFactory returns a factory of Static managers. inDRAM may be nil,
-// meaning everything goes to NVM.
+// meaning everything goes to the slowest tier (NVM on two-tier machines);
+// objects it selects go to the fastest tier.
 func NewStaticFactory(name string, inDRAM func(object string) bool) ManagerFactory {
+	var tierOf func(string, *machine.Machine) machine.TierKind
+	if inDRAM != nil {
+		tierOf = func(object string, m *machine.Machine) machine.TierKind {
+			if inDRAM(object) {
+				return 0
+			}
+			return m.SlowestIdx()
+		}
+	}
 	return func(rank int) Manager {
-		return &Static{name: name, inDRAM: inDRAM}
+		return &Static{name: name, tierOf: tierOf}
+	}
+}
+
+// NewTieredStaticFactory returns a factory of Static managers enforcing an
+// explicit per-object tier assignment on an N-tier machine. Objects absent
+// from assign go to the slowest tier.
+func NewTieredStaticFactory(name string, assign map[string]machine.TierKind) ManagerFactory {
+	tierOf := func(object string, m *machine.Machine) machine.TierKind {
+		if t, ok := assign[object]; ok {
+			return t
+		}
+		return m.SlowestIdx()
+	}
+	return func(rank int) Manager {
+		return &Static{name: name, tierOf: tierOf}
 	}
 }
 
@@ -31,9 +59,9 @@ func (s *Static) Name() string { return s.name }
 // Setup implements Manager: allocates every target object in its fixed tier.
 func (s *Static) Setup(ctx *RankCtx) error {
 	for _, os := range ctx.W.Objects {
-		tier := machine.NVM
-		if s.inDRAM != nil && s.inDRAM(os.Name) {
-			tier = machine.DRAM
+		tier := ctx.Mach.SlowestIdx()
+		if s.tierOf != nil {
+			tier = s.tierOf(os.Name, ctx.Mach)
 		}
 		if _, err := ctx.Heap.Alloc(os.Name, os.Size, memsys.AllocOptions{
 			InitialTier: tier,

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"sync"
 	"testing"
 
 	"unimem/internal/app"
@@ -252,5 +253,36 @@ func TestRuntimeOverheadWithinPaperBounds(t *testing.T) {
 	frac := res.Ranks[0].OverheadNS / float64(res.Ranks[0].TimeNS)
 	if frac > 0.04 {
 		t.Fatalf("pure runtime cost %.1f%%, paper reports <= 3%%", frac*100)
+	}
+}
+
+// TestTieredPlacementDisabled pins the multi-tier analogue of the two-tier
+// "none" plan: with both searches disabled the runtime must decide, but
+// keep every object where it started (no migrations).
+func TestTieredPlacementDisabled(t *testing.T) {
+	m := machine.PlatformHBMDDRNVM()
+	w := workloads.NewCG("C", 2)
+	cfg := core.DefaultConfig()
+	cfg.EnableGlobal, cfg.EnableLocal = false, false
+	var mu sync.Mutex
+	var rts []*core.Runtime
+	res, err := app.Run(w, m, app.Options{Ranks: 2}, func(rank int) app.Manager {
+		r := core.NewRuntime(rank, cfg)
+		mu.Lock()
+		rts = append(rts, r)
+		mu.Unlock()
+		return r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMigrations() != 0 {
+		t.Fatalf("disabled placement migrated %d times", res.TotalMigrations())
+	}
+	for _, rt := range rts {
+		tp := rt.TierPlan()
+		if tp == nil || tp.Solver != "none" {
+			t.Fatalf("expected a 'none' tier plan, got %+v", tp)
+		}
 	}
 }

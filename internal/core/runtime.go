@@ -106,6 +106,10 @@ type Runtime struct {
 	reprofileNext bool
 
 	plan *placement.Plan
+	// tierPlan is the multiple-choice-knapsack decision taken on machines
+	// with more than two tiers (nil on two-tier machines, whose decisions
+	// go through the paper's exact two-search pipeline above).
+	tierPlan *placement.TieredPlan
 	// pendingSeq[phase index] is the latest mover ticket that must complete
 	// before that phase executes.
 	pendingSeq map[int]uint64
@@ -113,6 +117,9 @@ type Runtime struct {
 	// derived trigger phases (so they overlap like scheduled moves do);
 	// drained the first time each trigger phase begins.
 	oneShot map[int][]placement.Move
+	// oneShotTiered is oneShot's N-tier counterpart: deferred promotions
+	// of the multi-tier adoption.
+	oneShotTiered map[int][]tieredMove
 	// decisionIter is the completed-iteration count when the latest
 	// decision was taken; the variation monitor stays quiet for two
 	// iterations afterwards while migrations settle and the baseline
@@ -142,13 +149,14 @@ func NewRuntime(rank int, cfg Config) *Runtime {
 		cfg.AmortizeIters = 10
 	}
 	return &Runtime{
-		cfg:          cfg,
-		rank:         rank,
-		pendingSeq:   make(map[int]uint64),
-		oneShot:      make(map[int][]placement.Move),
-		chunkByName:  make(map[string]*memsys.Chunk),
-		chunkSize:    make(map[string]int64),
-		explicitDeps: make(map[string][]int),
+		cfg:           cfg,
+		rank:          rank,
+		pendingSeq:    make(map[int]uint64),
+		oneShot:       make(map[int][]placement.Move),
+		oneShotTiered: make(map[int][]tieredMove),
+		chunkByName:   make(map[string]*memsys.Chunk),
+		chunkSize:     make(map[string]int64),
+		explicitDeps:  make(map[string][]int),
 	}
 }
 
@@ -176,9 +184,21 @@ func (r *Runtime) DRAMResidents() []string {
 	return out
 }
 
-// Plan exposes the current placement plan (nil before the first decision);
-// used by the inspection tooling and tests.
+// Plan exposes the current placement plan (nil before the first decision,
+// and nil on machines with more than two tiers — see TierPlan); used by
+// the inspection tooling and tests.
 func (r *Runtime) Plan() *placement.Plan { return r.plan }
+
+// TierPlan exposes the multiple-choice-knapsack assignment taken on
+// machines with more than two tiers (nil before the first decision and on
+// two-tier machines).
+func (r *Runtime) TierPlan() *placement.TieredPlan { return r.tierPlan }
+
+// TierResidencyBytes returns this rank's current resident bytes per tier.
+func (r *Runtime) TierResidencyBytes() []int64 { return r.heap.TierResidencyBytes() }
+
+// TierResidents returns chunk name -> current tier for this rank.
+func (r *Runtime) TierResidents() map[string]machine.TierKind { return r.heap.TierSnapshot() }
 
 // MoverStats exposes the helper thread's accounting.
 func (r *Runtime) MoverStats() mover.Stats { return r.mov.Stats() }
@@ -208,16 +228,19 @@ func (r *Runtime) Setup(ctx *app.RankCtx) error {
 	r.mcfg.Apply(r.cfg.Calibration)
 	r.mcfg.LiteralEq3 = r.cfg.LiteralEq3
 
-	dramCap := ctx.Mach.DRAMSpec.CapacityBytes
+	dramCap := ctx.Mach.Fastest().CapacityBytes
 	partitionMin := r.cfg.PartitionMinBytes
 	if partitionMin == 0 {
 		partitionMin = dramCap * 9 / 10
 	}
 
 	// Initial data placement (§3.2): rank objects by their static
-	// reference-count hint and fill DRAM greedily. Objects without a hint
-	// (count unknown before the loop) stay in NVM.
-	initialDRAM := make(map[string]bool)
+	// reference-count hint and fill the fast tiers greedily, fastest
+	// first. Objects without a hint (count unknown before the loop) stay
+	// in the slowest tier. On two-tier machines this is exactly the
+	// paper's DRAM fill.
+	slowest := ctx.Mach.SlowestIdx()
+	initialTier := make(map[string]machine.TierKind)
 	if r.cfg.EnableInitial {
 		order := make([]int, 0, len(ctx.W.Objects))
 		for i, o := range ctx.W.Objects {
@@ -228,23 +251,29 @@ func (r *Runtime) Setup(ctx *app.RankCtx) error {
 		sort.SliceStable(order, func(a, b int) bool {
 			return ctx.W.Objects[order[a]].RefHint > ctx.W.Objects[order[b]].RefHint
 		})
-		remaining := dramCap
+		remaining := make([]int64, int(slowest))
+		for t := range remaining {
+			remaining[t] = ctx.Mach.Tier(machine.TierKind(t)).CapacityBytes
+		}
 		for _, i := range order {
 			o := ctx.W.Objects[i]
-			if o.Size <= remaining {
-				initialDRAM[o.Name] = true
-				remaining -= o.Size
+			for t := range remaining {
+				if o.Size <= remaining[t] {
+					initialTier[o.Name] = machine.TierKind(t)
+					remaining[t] -= o.Size
+					break
+				}
 			}
 		}
 	}
 
 	for _, os := range ctx.W.Objects {
 		opts := memsys.AllocOptions{
-			InitialTier: machine.NVM,
+			InitialTier: slowest,
 			RefHint:     os.RefHint,
 		}
-		if initialDRAM[os.Name] {
-			opts.InitialTier = machine.DRAM
+		if t, ok := initialTier[os.Name]; ok {
+			opts.InitialTier = t
 		}
 		if r.cfg.EnablePartition && os.Partitionable && os.Size >= partitionMin {
 			opts.Partitionable = true
@@ -295,12 +324,12 @@ func (r *Runtime) PhaseBegin(ctx *app.RankCtx, name string, kind phase.Kind, mpi
 		}
 	}
 
-	if r.plan != nil && !r.profilingBlocksEnforcement() {
+	if (r.plan != nil || r.tierPlan != nil) && !r.profilingBlocksEnforcement() {
 		r.enforceAt(ctx, p.ID)
 	}
 
 	// Queue-status check at the beginning of each phase (§3.3).
-	if seq := r.pendingSeq[p.ID]; seq > 0 || r.plan != nil {
+	if seq := r.pendingSeq[p.ID]; seq > 0 || r.plan != nil || r.tierPlan != nil {
 		stall := r.mov.Sync(seq, ctx.Comm.Clock())
 		delete(r.pendingSeq, p.ID)
 		ctx.Comm.Advance(stall + mover.SyncCheckNS)
@@ -312,7 +341,9 @@ func (r *Runtime) PhaseBegin(ctx *app.RankCtx, name string, kind phase.Kind, mpi
 // Re-profiling runs concurrently with the existing plan (the paper keeps
 // serving the old decision while collecting a fresh profile), so it never
 // blocks; only the very first profile (no plan yet) executes unenforced.
-func (r *Runtime) profilingBlocksEnforcement() bool { return r.plan == nil }
+func (r *Runtime) profilingBlocksEnforcement() bool {
+	return r.plan == nil && r.tierPlan == nil
+}
 
 // enforceAt enqueues every scheduled move triggered at phase pid (plus any
 // pending one-shot adoption moves), skipping chunks already in their
@@ -324,11 +355,44 @@ func (r *Runtime) enforceAt(ctx *app.RankCtx, pid int) {
 			r.enqueueMove(ctx, mv)
 		}
 	}
+	if moves := r.oneShotTiered[pid]; len(moves) > 0 {
+		delete(r.oneShotTiered, pid)
+		for _, mv := range moves {
+			r.enqueueTieredMove(ctx, mv)
+		}
+	}
+	if r.plan == nil {
+		return
+	}
 	for _, mv := range r.plan.Schedule {
 		if mv.TriggerPhase != pid {
 			continue
 		}
 		r.enqueueMove(ctx, mv)
+	}
+}
+
+// tieredMove is one adoption move of the N-tier placement: migrate chunk
+// to tier `to`, required complete before phase `target` (-1: no deadline).
+type tieredMove struct {
+	chunk  string
+	to     machine.TierKind
+	target int
+}
+
+// enqueueTieredMove posts a tiered adoption move to the helper thread,
+// skipping chunks already in place.
+func (r *Runtime) enqueueTieredMove(ctx *app.RankCtx, mv tieredMove) {
+	c := r.chunkByName[mv.chunk]
+	if c == nil {
+		return
+	}
+	if r.heap.TierOf(c) == mv.to {
+		return
+	}
+	seq := r.mov.Enqueue(c, mv.to, ctx.Comm.Clock())
+	if mv.target >= 0 && seq > r.pendingSeq[mv.target] {
+		r.pendingSeq[mv.target] = seq
 	}
 }
 
@@ -388,15 +452,21 @@ func (r *Runtime) PhaseEnd(ctx *app.RankCtx, durNS float64, traffic []counters.C
 
 // decide runs step 2 and 3 of the workflow: build model estimates from the
 // profiled iteration, search placements, adopt the best plan, and enqueue
-// adoption migrations.
+// adoption migrations. Machines with more than two tiers take the
+// multiple-choice-knapsack path; two-tier machines run the paper's exact
+// two-search pipeline.
 func (r *Runtime) decide(ctx *app.RankCtx) {
+	if ctx.Mach.NumTiers() > 2 {
+		r.decideTiered(ctx)
+		return
+	}
 	r.sampler.Disable()
 	r.profiling = false
 	r.Decisions++
 
 	phases := r.reg.Phases()
 	in := &placement.Input{
-		DRAMCapacity:   ctx.Mach.DRAMSpec.CapacityBytes,
+		DRAMCapacity:   ctx.Mach.Fastest().CapacityBytes,
 		ChunkSize:      r.chunkSize,
 		Phases:         make([]placement.PhaseData, len(phases)),
 		Resident:       r.heap.ResidencySnapshot(),
@@ -434,7 +504,7 @@ func (r *Runtime) decide(ctx *app.RankCtx) {
 
 	// Modeling cost: estimates plus the knapsack DP cells, charged to the
 	// critical path (part of "pure runtime cost").
-	capUnits := int(ctx.Mach.DRAMSpec.CapacityBytes >> 20)
+	capUnits := int(ctx.Mach.Fastest().CapacityBytes >> 20)
 	modelNS := float64(modelOps)*200 + float64(capUnits*len(r.chunkSize))*20
 	ctx.Comm.Advance(int64(modelNS))
 	r.overheadNS += modelNS
@@ -462,6 +532,146 @@ func (r *Runtime) decide(ctx *app.RankCtx) {
 			Chunk: mv.Chunk, ToDRAM: true,
 			TriggerPhase: trigger, TargetPhase: target,
 		})
+	}
+}
+
+// decideTiered is the N-tier placement decision: evaluate the Eq. 1-4
+// models against every tier's spec (benefit relative to the slowest tier,
+// movement cost on the tier graph's edges amortized over AmortizeIters
+// iterations, mirroring the cross-phase global search), assign every chunk
+// exactly one tier with the multiple-choice knapsack under per-tier
+// capacities, and adopt the assignment: demotions free shared-tier space
+// immediately, promotions are deferred to their dependence-derived trigger
+// phases so the copies overlap with computation. The assignment is static
+// until the variation monitor triggers a re-profile.
+//
+// Of the Config knobs, EnableGlobal/EnableLocal gate the decision as a
+// whole (both off: keep everything where it is, like the two-tier "none"
+// plan); the two-tier-specific ablations (NaivePredictor — there is no
+// recurring-schedule timeline here — and NoHysteresis — no phase-local
+// churn to damp) have no N-tier counterpart and are ignored.
+func (r *Runtime) decideTiered(ctx *app.RankCtx) {
+	r.sampler.Disable()
+	r.profiling = false
+	r.Decisions++
+
+	m := ctx.Mach
+	nTiers := m.NumTiers()
+	slow := m.SlowestIdx()
+	phases := r.reg.Phases()
+	current := r.heap.TierSnapshot()
+
+	if !r.cfg.EnableGlobal && !r.cfg.EnableLocal {
+		// Placement disabled: adopt the current residency unchanged so
+		// enforcement and the variation monitor behave like the two-tier
+		// "none" plan.
+		assign := make(map[string]int, len(current))
+		for c, tk := range current {
+			assign[c] = int(tk)
+		}
+		r.tierPlan = &placement.TieredPlan{Assign: assign, Solver: "none"}
+		r.decisionIter = r.reg.Iter()
+		for _, p := range phases {
+			p.DecisionNS = 0
+		}
+		return
+	}
+
+	// Per-chunk per-tier benefit totals across the profiled iteration.
+	benefit := make(map[string][]float64)
+	var iterNS float64
+	var modelOps int
+	for _, p := range phases {
+		iterNS += p.ProfiledNS
+		if p.Profile == nil {
+			continue
+		}
+		for _, s := range p.Profile.Objects {
+			profTier := slow
+			if tk, ok := current[s.Chunk]; ok {
+				profTier = tk
+			}
+			b := benefit[s.Chunk]
+			if b == nil {
+				b = make([]float64, nTiers)
+				benefit[s.Chunk] = b
+			}
+			for t := 0; t < nTiers-1; t++ {
+				est := r.mcfg.EstimateChunkAt(m, s, p.Profile, profTier, slow, machine.TierKind(t))
+				b[t] += est.BenefitNS
+				modelOps++
+			}
+		}
+	}
+
+	// Every chunk is a knapsack item — including never-profiled ones,
+	// whose zero benefit lets the solver demote them out of contended
+	// fast tiers when the space earns more elsewhere.
+	names := make([]string, 0, len(r.chunkSize))
+	for c := range r.chunkSize {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	items := make([]placement.TieredItem, 0, len(names))
+	for _, c := range names {
+		size := r.chunkSize[c]
+		cur := current[c]
+		w := make([]float64, nTiers)
+		for t := range w {
+			if b := benefit[c]; b != nil {
+				w[t] = b[t]
+			}
+			if machine.TierKind(t) != cur {
+				// Eq. 4 on the (cur, t) tier-graph edge: adoption copies
+				// overlap with the whole iteration; the exposed remainder
+				// is paid once and amortized.
+				cost := m.CopyTimeBetweenNS(cur, machine.TierKind(t), size) - iterNS
+				if cost < 0 {
+					cost = 0
+				}
+				w[t] -= cost / float64(r.cfg.AmortizeIters)
+			}
+		}
+		items = append(items, placement.TieredItem{Chunk: c, Size: size, WeightNS: w})
+	}
+	caps := make([]int64, nTiers)
+	for t := 0; t < nTiers-1; t++ {
+		caps[t] = m.Tier(machine.TierKind(t)).CapacityBytes
+	}
+	caps[slow] = -1
+	r.tierPlan = placement.SolveTiered(items, caps)
+
+	// Modeling cost: estimates plus the table cells the solver actually
+	// evaluated (the 2D DP's state space is the capacity product, not the
+	// sum), charged to the critical path like the two-tier decision.
+	modelNS := float64(modelOps)*200 + float64(r.tierPlan.Work)*20
+	ctx.Comm.Advance(int64(modelNS))
+	r.overheadNS += modelNS
+
+	// Rebaseline the variation monitor.
+	r.decisionIter = r.reg.Iter()
+	for _, p := range phases {
+		p.DecisionNS = 0
+	}
+
+	// Adoption.
+	r.oneShotTiered = make(map[int][]tieredMove)
+	for _, it := range items {
+		want := machine.TierKind(r.tierPlan.Assign[it.Chunk])
+		cur := current[it.Chunk]
+		if want == cur {
+			continue
+		}
+		if want > cur {
+			// Demotion: freeing contended fast-tier space early is always
+			// safe.
+			r.enqueueTieredMove(ctx, tieredMove{chunk: it.Chunk, to: want, target: -1})
+			continue
+		}
+		target := r.firstReferencing(it.Chunk)
+		trigger := r.reg.TriggerPhase(it.Chunk, target)
+		r.oneShotTiered[trigger] = append(r.oneShotTiered[trigger],
+			tieredMove{chunk: it.Chunk, to: want, target: target})
 	}
 }
 

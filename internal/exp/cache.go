@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"strings"
+
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -56,15 +58,23 @@ func keyFor(w *workloads.Workload, m *machine.Machine, strategy string, opts app
 }
 
 // machineFingerprint renders every Machine parameter that influences
-// simulated time or capacity, deliberately excluding the display Name.
+// simulated time or capacity, deliberately excluding the display Name. The
+// full ordered tier list is hashed — tier count included — so platforms
+// that share a DRAM/NVM pair but differ in depth or in a middle tier
+// (e.g. HBM+DDR vs HBM+DDR+NVM) can never collide on a cached baseline.
 func machineFingerprint(m *machine.Machine) string {
 	tier := func(t machine.TierSpec) string {
 		return fmt.Sprintf("%g/%g/%g/%d", t.ReadLatNS, t.WriteLatNS, t.BandwidthBps, t.CapacityBytes)
 	}
-	return fmt.Sprintf("d=%s n=%s cp=%g cpu=%g fl=%g si=%d nl=%g nb=%g",
-		tier(m.DRAMSpec), tier(m.NVMSpec), m.CopyBandwidthBps,
-		m.CPUFreqHz, m.FlopsPerSec, m.SampleIntervalCycles,
+	var b strings.Builder
+	fmt.Fprintf(&b, "T%d", m.NumTiers())
+	for i, t := range m.Tiers {
+		fmt.Fprintf(&b, " t%d=%s", i, tier(t))
+	}
+	fmt.Fprintf(&b, " cp=%g cpu=%g fl=%g si=%d nl=%g nb=%g",
+		m.CopyBandwidthBps, m.CPUFreqHz, m.FlopsPerSec, m.SampleIntervalCycles,
 		m.NetLatencyNS, m.NetBandwidthBps)
+	return b.String()
 }
 
 // cacheEntry is one memoized run. The sync.Once gives singleflight

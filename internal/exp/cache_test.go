@@ -171,3 +171,27 @@ func TestSuiteSharesBaselinesAcrossExperiments(t *testing.T) {
 			after13.Misses-after9.Misses)
 	}
 }
+
+// TestMachineFingerprintHashesFullTierList pins satellite-1 of the N-tier
+// subsystem: the fingerprint covers the whole ordered tier list, so
+// platforms differing only in hierarchy depth or in a middle tier can
+// never collide on a cached baseline.
+func TestMachineFingerprintHashesFullTierList(t *testing.T) {
+	three := machine.PlatformHBMDDRNVM()
+	// A two-tier machine with the same fastest and slowest tiers as the
+	// three-tier platform (middle tier dropped).
+	two := three.WithTierCapacity(0, three.Tiers[0].CapacityBytes) // clone
+	two.Tiers = []machine.TierSpec{three.Tiers[0], three.Tiers[2]}
+	if machineFingerprint(three) == machineFingerprint(two) {
+		t.Error("dropping a middle tier must alter the fingerprint")
+	}
+	// Changing only the middle tier must alter it too.
+	mid := three.WithTierCapacity(1, 512<<20)
+	if machineFingerprint(three) == machineFingerprint(mid) {
+		t.Error("middle-tier capacity change must alter the fingerprint")
+	}
+	// KNL and CXL share tier count but no tier specs.
+	if machineFingerprint(machine.PlatformKNL()) == machineFingerprint(machine.PlatformCXL()) {
+		t.Error("KNL and CXL platforms must not collide")
+	}
+}

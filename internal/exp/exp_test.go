@@ -317,3 +317,85 @@ func TestTechSweepShape(t *testing.T) {
 		t.Error("technology severity ordering violated")
 	}
 }
+
+// TestTierscapeShape checks the N-tier experiment's physics: slowest-only
+// must lose to the fastest-only twin everywhere, Unimem must recover a
+// large share of the slowest-only gap, never (materially) lose to
+// slowest-only, and the per-tier stats must be present and within tier
+// capacities.
+func TestTierscapeShape(t *testing.T) {
+	tbl, err := quickSuite().Tierscape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("tierscape rows %d, want 3 platforms x 3 benchmarks", len(tbl.Rows))
+	}
+	platforms := map[string]bool{}
+	for r := range tbl.Rows {
+		platforms[tbl.Rows[r][0]] = true
+		name := tbl.Rows[r][0] + "/" + tbl.Rows[r][1]
+		slow, uni := cell(t, tbl, r, 3), cell(t, tbl, r, 5)
+		if slow < 1.0 {
+			t.Errorf("%s: slowest-only %v beats the fastest-only twin", name, slow)
+		}
+		if uni > slow+0.02 {
+			t.Errorf("%s: Unimem %v worse than slowest-only %v", name, uni, slow)
+		}
+		// Unimem must close at least half of the slowest-only gap.
+		if slow > 1.1 && uni-1 > (slow-1)*0.5 {
+			t.Errorf("%s: Unimem %v recovers too little of the %v gap", name, uni, slow)
+		}
+	}
+	if len(platforms) != 3 {
+		t.Errorf("tierscape covers %d platforms, want 3", len(platforms))
+	}
+	if len(tbl.TierStats) == 0 {
+		t.Fatal("tierscape must emit per-tier stats for the JSON output")
+	}
+	caps := map[string]map[int]int64{}
+	for _, m := range tierPlatforms() {
+		caps[m.Name] = map[int]int64{}
+		for tr := 0; tr < m.NumTiers(); tr++ {
+			caps[m.Name][tr] = m.Tiers[tr].CapacityBytes
+		}
+	}
+	for _, st := range tbl.TierStats {
+		if st.Name == "" {
+			t.Fatalf("tier stat without a tier name: %+v", st)
+		}
+		if c, ok := caps[st.Platform][st.Tier]; !ok {
+			t.Fatalf("tier stat for unknown platform/tier: %+v", st)
+		} else if st.ResidentBytes > c {
+			t.Errorf("%s tier %d: resident %d exceeds capacity %d",
+				st.Platform, st.Tier, st.ResidentBytes, c)
+		}
+	}
+}
+
+// TestTieredStaticAssignRespectsCapacity property-checks the hint-density
+// static placement: never over capacity on any constrained tier, hintless
+// objects untouched (slowest tier by default).
+func TestTieredStaticAssignRespectsCapacity(t *testing.T) {
+	for _, m := range tierPlatforms() {
+		for _, w := range quickSuite().evalSuite() {
+			assign := TieredStaticAssign(w, m)
+			used := make([]int64, m.NumTiers())
+			for name, tier := range assign {
+				o := w.Object(name)
+				if o == nil {
+					t.Fatalf("%s/%s: assigned unknown object %q", m.Name, w.Name, name)
+				}
+				if o.RefHint <= 0 {
+					t.Errorf("%s/%s: hintless object %q placed in tier %d", m.Name, w.Name, name, tier)
+				}
+				used[tier] += o.Size
+			}
+			for tr := 0; tr < m.NumTiers()-1; tr++ {
+				if used[tr] > m.Tiers[tr].CapacityBytes {
+					t.Errorf("%s/%s: tier %d over capacity", m.Name, w.Name, tr)
+				}
+			}
+		}
+	}
+}

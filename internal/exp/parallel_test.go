@@ -83,9 +83,11 @@ func renderExp(t *testing.T, id string, workers int) []byte {
 // TestSerialParallelEquivalence is the golden gate of the parallel engine:
 // for each experiment the rendered table must be byte-identical whether the
 // cells run serially or fanned across a worker pool (fig9 and table4 are
-// the required representatives; fig4 exercises the pinned-placement cells).
+// the required representatives; fig4 exercises the pinned-placement cells;
+// tierscape exercises the multi-tier platforms and the multiple-choice-
+// knapsack runtime path).
 func TestSerialParallelEquivalence(t *testing.T) {
-	for _, id := range []string{"fig9", "table4", "fig4"} {
+	for _, id := range []string{"fig9", "table4", "fig4", "tierscape"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

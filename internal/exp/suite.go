@@ -64,7 +64,7 @@ func Registry() ([]string, map[string]Runner) {
 	order := []string{
 		"table1", "calib", "table3", "fig2", "fig3", "fig4",
 		"fig9", "fig10", "fig11", "table4", "fig12", "fig13",
-		"ablation", "techsweep",
+		"ablation", "techsweep", "tierscape",
 	}
 	m := map[string]Runner{
 		"table1":    (*Suite).Table1,
@@ -81,6 +81,7 @@ func Registry() ([]string, map[string]Runner) {
 		"fig13":     (*Suite).Fig13,
 		"ablation":  (*Suite).Ablation,
 		"techsweep": (*Suite).TechSweep,
+		"tierscape": (*Suite).Tierscape,
 	}
 	return order, m
 }
@@ -218,6 +219,19 @@ func (c *Collector) OverlapFrac() float64 {
 		sum += r.MoverStats().OverlapFrac()
 	}
 	return sum / float64(len(c.Runtimes))
+}
+
+// Rank0TierResidency returns rank 0's final per-tier resident bytes, or
+// nil when rank 0's runtime was not collected.
+func (c *Collector) Rank0TierResidency() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.byRank() {
+		if r.Rank() == 0 {
+			return r.TierResidencyBytes()
+		}
+	}
+	return nil
 }
 
 // Decisions returns rank 0's placement decision count.

@@ -44,6 +44,21 @@ type Table struct {
 	Rows    [][]string `json:"rows"`
 	// Notes carry paper-vs-measured commentary rendered under the table.
 	Notes []string `json:"notes,omitempty"`
+	// TierStats carry per-tier residency/migration detail for multi-tier
+	// experiments (tierscape); emitted in the JSON output only.
+	TierStats []TierStat `json:"tier_stats,omitempty"`
+}
+
+// TierStat is one tier's residency and migration record for one
+// (platform, benchmark) cell of a multi-tier experiment, as measured on
+// rank 0 at the end of the run.
+type TierStat struct {
+	Platform      string `json:"platform"`
+	Benchmark     string `json:"benchmark"`
+	Tier          int    `json:"tier"`
+	Name          string `json:"name"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	MovesIn       int    `json:"moves_in"`
 }
 
 // AddRow appends a row, stringifying the cells.

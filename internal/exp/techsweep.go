@@ -64,8 +64,8 @@ func (s *Suite) TechSweep() (*Table, error) {
 }
 
 func describeTiers(m *machine.Machine) string {
-	bw := m.NVMSpec.BandwidthBps / m.DRAMSpec.BandwidthBps
-	lat := m.NVMSpec.ReadLatNS / m.DRAMSpec.ReadLatNS
+	bw := m.Slowest().BandwidthBps / m.Fastest().BandwidthBps
+	lat := m.Slowest().ReadLatNS / m.Fastest().ReadLatNS
 	latStr := strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.1f", lat), "0"), ".")
 	return fmtPct(bw) + " bw, " + latStr + "x read lat"
 }

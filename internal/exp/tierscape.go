@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"unimem/internal/app"
+	"unimem/internal/machine"
+	"unimem/internal/workloads"
+)
+
+// tierPlatforms returns the multi-tier evaluation platforms of the
+// tierscape experiment: a KNL-like HBM+DDR machine, a CXL-expander
+// DDR+CXL machine, and the three-tier HBM+DDR+NVM stack.
+func tierPlatforms() []*machine.Machine {
+	return []*machine.Machine{
+		machine.PlatformKNL(),
+		machine.PlatformCXL(),
+		machine.PlatformHBMDDRNVM(),
+	}
+}
+
+// TieredStaticAssign derives a profile-free static placement for an N-tier
+// machine: objects ranked by static reference-hint density (RefHint/size)
+// fill the constrained tiers fastest-first; hintless objects and overflow
+// land in the slowest tier. This is the natural N-tier analogue of
+// "numactl-style" static tiering: no profiling run, no migration.
+func TieredStaticAssign(w *workloads.Workload, m *machine.Machine) map[string]machine.TierKind {
+	type cand struct {
+		name    string
+		size    int64
+		density float64
+	}
+	var cands []cand
+	for _, o := range w.Objects {
+		if o.RefHint > 0 && o.Size > 0 {
+			cands = append(cands, cand{o.Name, o.Size, o.RefHint / float64(o.Size)})
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].density != cands[b].density {
+			return cands[a].density > cands[b].density
+		}
+		return cands[a].name < cands[b].name
+	})
+	remaining := make([]int64, m.NumTiers()-1)
+	for t := range remaining {
+		remaining[t] = m.Tier(machine.TierKind(t)).CapacityBytes
+	}
+	assign := make(map[string]machine.TierKind)
+	for _, c := range cands {
+		for t := range remaining {
+			if c.size <= remaining[t] {
+				assign[c.name] = machine.TierKind(t)
+				remaining[t] -= c.size
+				break
+			}
+		}
+	}
+	return assign
+}
+
+// runTieredStatic executes the workload under the hint-density static
+// placement, memoized in the run cache.
+func (s *Suite) runTieredStatic(w *workloads.Workload, m *machine.Machine) (*app.Result, error) {
+	pw := s.prep(w)
+	opts := s.opts()
+	return s.Cache.Do(keyFor(pw, m, "static:tiered-hint", opts), func() (*app.Result, error) {
+		assign := TieredStaticAssign(pw, m)
+		return app.Run(pw, m, opts, app.NewTieredStaticFactory("tiered-static", assign))
+	})
+}
+
+// Tierscape evaluates the N-tier memory subsystem end to end: on each
+// multi-tier platform, each benchmark runs fastest-tier-only (the FastTwin
+// normalization baseline), slowest-tier-only, under the hint-density
+// static placement, and under Unimem's multiple-choice-knapsack runtime
+// placement. The residency column reports rank 0's final per-tier
+// resident megabytes under Unimem; per-tier detail lands in the table's
+// TierStats (JSON output).
+func (s *Suite) Tierscape() (*Table, error) {
+	t := &Table{
+		ID:    "tierscape",
+		Title: "N-tier platforms: fastest-only / slowest-only / static / Unimem",
+		Columns: []string{"Platform", "Benchmark", "Fastest-only", "Slowest-only",
+			"Static", "Unimem", "Migrations", "Unimem residency (rank 0)"},
+	}
+	platforms := tierPlatforms()
+	bench := []*workloads.Workload{
+		workloads.NewCG(s.Class, s.Ranks),
+		workloads.NewSP(s.Class, s.Ranks),
+		workloads.NewMG(s.Class, s.Ranks),
+	}
+	type cell struct {
+		m *machine.Machine
+		w *workloads.Workload
+	}
+	var cells []cell
+	for _, m := range platforms {
+		for _, w := range bench {
+			cells = append(cells, cell{m, w})
+		}
+	}
+	rows := make([][]interface{}, len(cells))
+	stats := make([][]TierStat, len(cells))
+	err := forEachRow(s.workers(), len(cells), func(i int) error {
+		c := cells[i]
+		fast, err := s.runStatic(c.w, c.m.FastTwin(), "fast-only", nil)
+		if err != nil {
+			return err
+		}
+		slow, err := s.runStatic(c.w, c.m, "slow-only", nil)
+		if err != nil {
+			return err
+		}
+		st, err := s.runTieredStatic(c.w, c.m)
+		if err != nil {
+			return err
+		}
+		uni, col, err := s.runUnimem(c.w, c.m, s.unimemConfig(c.m))
+		if err != nil {
+			return err
+		}
+		r0 := uni.Ranks[0]
+		resident := tierResidency(col, c.m)
+		rows[i] = []interface{}{c.m.Name, c.w.Name, 1.00,
+			norm(slow.TimeNS, fast.TimeNS),
+			norm(st.TimeNS, fast.TimeNS),
+			norm(uni.TimeNS, fast.TimeNS),
+			r0.Migrations.Migrations,
+			residencyString(c.m, resident)}
+		stats[i] = make([]TierStat, c.m.NumTiers())
+		for tr := 0; tr < c.m.NumTiers(); tr++ {
+			movesIn := 0
+			if tr < len(r0.Migrations.ToTier) {
+				movesIn = r0.Migrations.ToTier[tr]
+			}
+			var res int64
+			if tr < len(resident) {
+				res = resident[tr]
+			}
+			stats[i][tr] = TierStat{
+				Platform:      c.m.Name,
+				Benchmark:     c.w.Name,
+				Tier:          tr,
+				Name:          c.m.TierName(machine.TierKind(tr)),
+				ResidentBytes: res,
+				MovesIn:       movesIn,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		t.AddRow(row...)
+		t.TierStats = append(t.TierStats, stats[i]...)
+	}
+	t.Notes = append(t.Notes,
+		"times normalized to the fastest-tier-only twin (FastTwin); static = hint-density fill, no migration",
+		"Unimem decisions use the multiple-choice knapsack: each chunk assigned exactly one tier under per-tier capacities")
+	return t, nil
+}
+
+// tierResidency returns rank 0's final per-tier resident bytes.
+func tierResidency(col *Collector, m *machine.Machine) []int64 {
+	if r := col.Rank0TierResidency(); r != nil {
+		return r
+	}
+	return make([]int64, m.NumTiers())
+}
+
+// residencyString renders per-tier resident bytes as "HBM:96M DDR:240M ...".
+func residencyString(m *machine.Machine, resident []int64) string {
+	parts := make([]string, len(resident))
+	for t, b := range resident {
+		parts[t] = fmt.Sprintf("%s:%dM", m.TierName(machine.TierKind(t)), b>>20)
+	}
+	return strings.Join(parts, " ")
+}

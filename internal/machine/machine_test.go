@@ -8,13 +8,13 @@ import (
 
 func TestPlatformADefaults(t *testing.T) {
 	m := PlatformA()
-	if m.DRAMSpec.CapacityBytes != 256<<20 {
-		t.Errorf("default DRAM capacity = %d, want 256MiB", m.DRAMSpec.CapacityBytes)
+	if m.Tier(DRAM).CapacityBytes != 256<<20 {
+		t.Errorf("default DRAM capacity = %d, want 256MiB", m.Tier(DRAM).CapacityBytes)
 	}
-	if m.NVMSpec.CapacityBytes != 16<<30 {
-		t.Errorf("default NVM capacity = %d, want 16GiB", m.NVMSpec.CapacityBytes)
+	if m.Tier(NVM).CapacityBytes != 16<<30 {
+		t.Errorf("default NVM capacity = %d, want 16GiB", m.Tier(NVM).CapacityBytes)
 	}
-	if m.NVMSpec.BandwidthBps != m.DRAMSpec.BandwidthBps {
+	if m.Tier(NVM).BandwidthBps != m.Tier(DRAM).BandwidthBps {
 		t.Error("base machine should have undegraded NVM")
 	}
 	if m.SampleIntervalCycles != 1000 {
@@ -25,14 +25,14 @@ func TestPlatformADefaults(t *testing.T) {
 func TestWithNVMBandwidthFraction(t *testing.T) {
 	m := PlatformA()
 	h := m.WithNVMBandwidthFraction(0.5)
-	if h.NVMSpec.BandwidthBps != m.DRAMSpec.BandwidthBps/2 {
+	if h.Tier(NVM).BandwidthBps != m.Tier(DRAM).BandwidthBps/2 {
 		t.Error("half-bandwidth NVM wrong")
 	}
-	if h.NVMSpec.ReadLatNS != m.DRAMSpec.ReadLatNS {
+	if h.Tier(NVM).ReadLatNS != m.Tier(DRAM).ReadLatNS {
 		t.Error("bandwidth knob must not change latency")
 	}
 	// The base machine must be unmodified (With* returns copies).
-	if m.NVMSpec.BandwidthBps != m.DRAMSpec.BandwidthBps {
+	if m.Tier(NVM).BandwidthBps != m.Tier(DRAM).BandwidthBps {
 		t.Error("WithNVMBandwidthFraction mutated the receiver")
 	}
 }
@@ -40,10 +40,10 @@ func TestWithNVMBandwidthFraction(t *testing.T) {
 func TestWithNVMLatencyFactor(t *testing.T) {
 	m := PlatformA()
 	l := m.WithNVMLatencyFactor(4)
-	if l.NVMSpec.ReadLatNS != 4*m.DRAMSpec.ReadLatNS {
+	if l.Tier(NVM).ReadLatNS != 4*m.Tier(DRAM).ReadLatNS {
 		t.Error("4x latency NVM wrong")
 	}
-	if l.NVMSpec.BandwidthBps != m.DRAMSpec.BandwidthBps {
+	if l.Tier(NVM).BandwidthBps != m.Tier(DRAM).BandwidthBps {
 		t.Error("latency knob must not change bandwidth")
 	}
 }
@@ -68,22 +68,22 @@ func TestWithPanicsOnBadArgs(t *testing.T) {
 func TestUndoDegradation(t *testing.T) {
 	m := PlatformA().WithNVMBandwidthFraction(0.25).WithNVMLatencyFactor(8)
 	back := m.WithNVMLatencyFactor(1).WithNVMBandwidthFraction(1)
-	if back.NVMSpec.BandwidthBps != back.DRAMSpec.BandwidthBps ||
-		back.NVMSpec.ReadLatNS != back.DRAMSpec.ReadLatNS {
+	if back.Tier(NVM).BandwidthBps != back.Tier(DRAM).BandwidthBps ||
+		back.Tier(NVM).ReadLatNS != back.Tier(DRAM).ReadLatNS {
 		t.Error("resetting knobs to 1 should restore DRAM parity")
 	}
 }
 
 func TestEdison(t *testing.T) {
 	m := Edison()
-	if got := m.NVMSpec.BandwidthBps / m.DRAMSpec.BandwidthBps; math.Abs(got-0.6) > 1e-9 {
+	if got := m.Tier(NVM).BandwidthBps / m.Tier(DRAM).BandwidthBps; math.Abs(got-0.6) > 1e-9 {
 		t.Errorf("Edison NVM bandwidth ratio = %v, want 0.6", got)
 	}
-	if got := m.NVMSpec.ReadLatNS / m.DRAMSpec.ReadLatNS; math.Abs(got-1.89) > 1e-9 {
+	if got := m.Tier(NVM).ReadLatNS / m.Tier(DRAM).ReadLatNS; math.Abs(got-1.89) > 1e-9 {
 		t.Errorf("Edison NVM latency ratio = %v, want 1.89", got)
 	}
-	if m.NVMSpec.CapacityBytes != 32<<30 {
-		t.Errorf("Edison NVM capacity = %d, want 32GiB", m.NVMSpec.CapacityBytes)
+	if m.Tier(NVM).CapacityBytes != 32<<30 {
+		t.Errorf("Edison NVM capacity = %d, want 32GiB", m.Tier(NVM).CapacityBytes)
 	}
 }
 
@@ -210,10 +210,10 @@ func TestTechMachine(t *testing.T) {
 	base := PlatformA()
 	for _, tech := range Table1()[1:] {
 		m := TechMachine(base, tech)
-		if m.NVMSpec.ReadLatNS <= base.DRAMSpec.ReadLatNS {
+		if m.Tier(NVM).ReadLatNS <= base.Tier(DRAM).ReadLatNS {
 			t.Errorf("%s: NVM latency should exceed DRAM", tech.Name)
 		}
-		if m.NVMSpec.BandwidthBps > base.DRAMSpec.BandwidthBps {
+		if m.Tier(NVM).BandwidthBps > base.Tier(DRAM).BandwidthBps {
 			t.Errorf("%s: NVM bandwidth should not exceed DRAM", tech.Name)
 		}
 	}
@@ -237,5 +237,97 @@ func TestTierKindString(t *testing.T) {
 	}
 	if Stream.String() != "stream" || PointerChase.String() != "pointer-chase" {
 		t.Error("pattern names wrong")
+	}
+}
+
+func TestMultiTierPresets(t *testing.T) {
+	for _, tc := range []struct {
+		m     *Machine
+		tiers []string
+	}{
+		{PlatformKNL(), []string{"HBM", "DDR"}},
+		{PlatformCXL(), []string{"DDR", "CXL"}},
+		{PlatformHBMDDRNVM(), []string{"HBM", "DDR", "NVM"}},
+	} {
+		if tc.m.NumTiers() != len(tc.tiers) {
+			t.Fatalf("%s: %d tiers, want %d", tc.m.Name, tc.m.NumTiers(), len(tc.tiers))
+		}
+		for i, name := range tc.tiers {
+			if got := tc.m.TierName(TierKind(i)); got != name {
+				t.Errorf("%s tier %d = %q, want %q", tc.m.Name, i, got, name)
+			}
+		}
+		// Capacities must grow down the hierarchy; the fast tier must be
+		// small enough that placement is a real decision.
+		for i := 1; i < tc.m.NumTiers(); i++ {
+			if tc.m.Tier(TierKind(i)).CapacityBytes < tc.m.Tier(TierKind(i-1)).CapacityBytes {
+				t.Errorf("%s: tier %d smaller than tier %d", tc.m.Name, i, i-1)
+			}
+		}
+	}
+}
+
+func TestCloneDoesNotAliasTiers(t *testing.T) {
+	m := PlatformA()
+	d := m.WithTierCapacity(0, 1<<30)
+	if m.Tier(DRAM).CapacityBytes == d.Tier(DRAM).CapacityBytes {
+		t.Error("WithTierCapacity mutated the receiver's tier slice")
+	}
+}
+
+func TestFastTwin(t *testing.T) {
+	m := PlatformHBMDDRNVM()
+	tw := m.FastTwin()
+	// Component-wise best of the 3-tier stack: HBM's bandwidth, DDR's
+	// latency.
+	for i := 0; i < tw.NumTiers(); i++ {
+		ts := tw.Tier(TierKind(i))
+		if ts.BandwidthBps != 51.2e9 || ts.ReadLatNS != 80 {
+			t.Errorf("fast twin tier %d not at component-wise best: %+v", i, ts)
+		}
+		if ts.CapacityBytes != m.Tier(TierKind(i)).CapacityBytes {
+			t.Errorf("fast twin tier %d capacity changed", i)
+		}
+	}
+	// On KNL (HBM faster in bandwidth, DDR faster in latency) the twin
+	// must dominate both real tiers, so no workload can beat it.
+	knl := PlatformKNL().FastTwin()
+	if knl.Tiers[0].ReadLatNS != 80 || knl.Tiers[0].BandwidthBps != 51.2e9 {
+		t.Errorf("KNL fast twin must combine DDR latency with HBM bandwidth: %+v", knl.Tiers[0])
+	}
+	// On a two-tier machine FastTwin must equal the paper's undegraded
+	// DRAM-only twin derivation.
+	b := PlatformA().WithNVMBandwidthFraction(0.5)
+	viaKnobs := b.WithNVMLatencyFactor(1).WithNVMBandwidthFraction(1)
+	viaTwin := b.FastTwin()
+	for i := range viaTwin.Tiers {
+		if viaTwin.Tiers[i] != viaKnobs.Tiers[i] {
+			t.Errorf("two-tier fast twin tier %d diverges from knob-derived twin", i)
+		}
+	}
+}
+
+func TestCopyBandwidthBetween(t *testing.T) {
+	m := PlatformHBMDDRNVM()
+	// Pairwise copy bandwidth is limited by the slower endpoint.
+	hbmDDR := m.CopyBandwidthBetweenBps(0, 1)
+	ddrNVM := m.CopyBandwidthBetweenBps(1, 2)
+	if hbmDDR <= ddrNVM {
+		t.Errorf("HBM<->DDR copy bw %v should beat DDR<->NVM %v", hbmDDR, ddrNVM)
+	}
+	if m.CopyBandwidthBetweenBps(0, 2) != ddrNVM {
+		t.Error("HBM<->NVM edge should be NVM-limited like DDR<->NVM")
+	}
+	// Symmetric edges.
+	if m.CopyBandwidthBetweenBps(2, 0) != m.CopyBandwidthBetweenBps(0, 2) {
+		t.Error("tier-graph edges must be symmetric")
+	}
+	// Two-tier: the only edge equals the legacy global copy bandwidth.
+	a := PlatformA().WithNVMBandwidthFraction(0.5)
+	if a.CopyBandwidthBetweenBps(DRAM, NVM) != a.CopyBandwidthBps {
+		t.Error("two-tier edge bandwidth diverges from CopyBandwidthBps")
+	}
+	if got, want := a.CopyTimeBetweenNS(DRAM, NVM, 1<<20), a.CopyTimeNS(1<<20); got != want {
+		t.Errorf("two-tier CopyTimeBetweenNS %v != CopyTimeNS %v", got, want)
 	}
 }

@@ -33,8 +33,8 @@ func Table1() []TechSpec {
 	}
 }
 
-// TechMachine derives a Machine whose NVM tier approximates the given
-// technology row, scaling the base machine's DRAM numbers by the
+// TechMachine derives a Machine whose slowest tier approximates the given
+// technology row, scaling the base machine's fastest-tier numbers by the
 // technology/DRAM ratios from Table 1 (midpoints of ranges). It lets the
 // sweep experiments include named technology points alongside the synthetic
 // fraction/factor sweeps.
@@ -45,13 +45,15 @@ func TechMachine(base *Machine, t TechSpec) *Machine {
 	bwRatio := mid(t.ReadBWMin, t.ReadBWMax) / mid(dram.ReadBWMin, dram.ReadBWMax)
 	c := base.clone()
 	c.Name = base.Name + "/" + t.Name
-	c.NVMSpec.ReadLatNS = base.DRAMSpec.ReadLatNS * latRatio
+	fast := base.Tiers[0]
+	last := len(c.Tiers) - 1
+	c.Tiers[last].ReadLatNS = fast.ReadLatNS * latRatio
 	wLatRatio := mid(t.WriteNSMin, t.WriteNSMax) / mid(dram.WriteNSMin, dram.WriteNSMax)
-	c.NVMSpec.WriteLatNS = base.DRAMSpec.WriteLatNS * wLatRatio
+	c.Tiers[last].WriteLatNS = fast.WriteLatNS * wLatRatio
 	if bwRatio > 1 {
 		bwRatio = 1
 	}
-	c.NVMSpec.BandwidthBps = base.DRAMSpec.BandwidthBps * bwRatio
+	c.Tiers[last].BandwidthBps = fast.BandwidthBps * bwRatio
 	c.recomputeCopyBW()
 	return c
 }

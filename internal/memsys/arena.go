@@ -1,8 +1,12 @@
 // Package memsys implements the heterogeneous memory substrate the Unimem
-// runtime manages: per-tier arenas with a real free-list allocator, a table
-// of named data objects (optionally partitioned into chunks), the migration
-// mechanics that move object bytes between tiers, and the user-level
-// per-node DRAM coordination service described in §3.3 of the paper.
+// runtime manages: an ordered N-tier heap (tier 0 fastest) with a real
+// free-list allocator per tier, a table of named data objects (optionally
+// partitioned into chunks), the migration mechanics that move object bytes
+// between any two tiers, and the user-level per-node coordination services
+// of the shared fast tiers — the generalization of the §3.3 DRAM service
+// (on the paper's two-tier platforms the layout is exactly the paper's:
+// one coordinated DRAM allowance per node, one private NVM arena per
+// rank).
 //
 // Object sizes and arena capacities are *simulated* byte counts (so Class
 // C/D footprints of many gigabytes can be modelled), while each chunk also

@@ -108,8 +108,8 @@ func (o *Object) BytesIn(k machine.TierKind) int64 {
 	return n
 }
 
-// InDRAM reports whether the entire object resides in DRAM.
-func (o *Object) InDRAM() bool { return o.BytesIn(machine.DRAM) == o.Size }
+// InDRAM reports whether the entire object resides in the fastest tier.
+func (o *Object) InDRAM() bool { return o.BytesIn(0) == o.Size }
 
 // AllocOptions configures Heap.Alloc.
 type AllocOptions struct {
@@ -117,8 +117,10 @@ type AllocOptions struct {
 	// chunk granularity (0 means the heap's default).
 	Partitionable bool
 	ChunkSize     int64
-	// InitialTier is where the object is first placed. The paper's default
-	// is NVM; initial data placement (§3.2) may choose DRAM.
+	// InitialTier is where the object is first placed; a full tier falls
+	// back down the hierarchy toward the slowest. The paper's default is
+	// the slowest tier (NVM); initial data placement (§3.2) may choose a
+	// faster one.
 	InitialTier machine.TierKind
 	// RefHint is the static reference-count estimate (see Object.RefHint).
 	RefHint float64
@@ -127,20 +129,30 @@ type AllocOptions struct {
 // MigrationStats accumulates the migration activity of one heap; the
 // experiment harness aggregates them into the paper's Table 4.
 type MigrationStats struct {
-	Migrations     int
-	BytesMigrated  int64
-	ToDRAM, ToNVM  int
+	Migrations    int
+	BytesMigrated int64
+	// ToDRAM counts promotions (moves to a faster tier) and ToNVM
+	// demotions (moves to a slower tier); on two-tier machines these are
+	// exactly the DRAM-bound and NVM-bound move counts.
+	ToDRAM, ToNVM int
+	// ToTier counts arrivals per destination tier (index = tier).
+	ToTier         []int
 	FailedNoSpace  int
 	PointerRewrite int
 }
 
-// Heap is the per-rank object table and placement engine. DRAM space is
-// obtained through the shared per-node service; NVM space from a private
-// arena (NVM is large, contention-free in the paper's configurations).
+// Heap is the per-rank object table and placement engine. Space in the
+// faster, contended tiers is obtained through the shared per-node services;
+// the slowest tier uses a private extent arena (it is large and
+// contention-free in the paper's configurations).
 type Heap struct {
-	Mach    *machine.Machine
-	dramSvc *NodeService
-	nvm     *Arena
+	Mach *machine.Machine
+	node *NodeTiers
+	// allocs[t] is tier t's space manager: the node's shared service where
+	// one exists, a private arena otherwise.
+	allocs []tierAlloc
+	// slowest is the private arena backing the last tier.
+	slowest *Arena
 
 	// mu guards placement state (chunk tiers/offsets, arenas, stats): the
 	// helper thread migrates chunks concurrently with the main thread
@@ -156,6 +168,13 @@ type Heap struct {
 	Stats MigrationStats
 }
 
+// tierAlloc is one tier's space manager; both the shared NodeService and
+// the private Arena satisfy it.
+type tierAlloc interface {
+	Alloc(size int64) (int64, error)
+	Free(off, size int64)
+}
+
 // HeapOptions configures NewHeap.
 type HeapOptions struct {
 	// MaterializeCap bounds real backing bytes per chunk
@@ -167,28 +186,41 @@ type HeapOptions struct {
 	DefaultChunkSize int64
 }
 
-// NewHeap returns a heap for one rank on a node whose DRAM is coordinated
-// by svc.
-func NewHeap(m *machine.Machine, svc *NodeService, opts HeapOptions) *Heap {
+// NewHeap returns a heap for one rank on a node whose shared tiers are
+// coordinated by node.
+func NewHeap(m *machine.Machine, node *NodeTiers, opts HeapOptions) *Heap {
 	if opts.MaterializeCap == 0 {
 		opts.MaterializeCap = DefaultMaterializeCap
 	}
 	if opts.DefaultChunkSize == 0 {
 		opts.DefaultChunkSize = 32 << 20
 	}
-	return &Heap{
+	h := &Heap{
 		Mach:           m,
-		dramSvc:        svc,
-		nvm:            NewArena(m.NVMSpec.CapacityBytes),
+		node:           node,
 		byName:         make(map[string]*Object),
 		materializeCap: opts.MaterializeCap,
 		defaultChunk:   opts.DefaultChunkSize,
 		nextSimAddr:    1 << 12, // skip the simulated null page
 	}
+	h.allocs = make([]tierAlloc, m.NumTiers())
+	for t := range h.allocs {
+		if svc := node.Service(machine.TierKind(t)); svc != nil {
+			h.allocs[t] = svc
+			continue
+		}
+		a := NewArena(m.Tier(machine.TierKind(t)).CapacityBytes)
+		h.allocs[t] = a
+		if t == m.NumTiers()-1 {
+			h.slowest = a
+		}
+	}
+	h.Stats.ToTier = make([]int, m.NumTiers())
+	return h
 }
 
-// DRAMService returns the node DRAM coordination service.
-func (h *Heap) DRAMService() *NodeService { return h.dramSvc }
+// DRAMService returns the node coordination service of the fastest tier.
+func (h *Heap) DRAMService() *NodeService { return h.node.Service(0) }
 
 // Objects returns the registered objects in allocation order.
 func (h *Heap) Objects() []*Object { return h.objects }
@@ -197,13 +229,18 @@ func (h *Heap) Objects() []*Object { return h.objects }
 func (h *Heap) Lookup(name string) *Object { return h.byName[name] }
 
 // Alloc registers a data object of size simulated bytes and places its
-// chunks in opts.InitialTier (falling back to NVM if DRAM is full, which
-// matches the runtime's NVM-by-default policy).
+// chunks in opts.InitialTier, falling back tier by tier toward the slowest
+// when a tier is full (which matches the runtime's slow-tier-by-default
+// policy: on two-tier machines a full DRAM falls back to NVM).
 func (h *Heap) Alloc(name string, size int64, opts AllocOptions) (*Object, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if size <= 0 {
 		return nil, fmt.Errorf("memsys: object %q has invalid size %d", name, size)
+	}
+	if int(opts.InitialTier) < 0 || int(opts.InitialTier) >= h.Mach.NumTiers() {
+		return nil, fmt.Errorf("memsys: object %q requests unknown tier %v (machine has %d tiers)",
+			name, opts.InitialTier, h.Mach.NumTiers())
 	}
 	if _, dup := h.byName[name]; dup {
 		return nil, fmt.Errorf("memsys: object %q already allocated", name)
@@ -243,15 +280,16 @@ func (h *Heap) Alloc(name string, size int64, opts AllocOptions) (*Object, error
 			mat = h.materializeCap
 		}
 		c.data = make([]byte, mat)
-		if err := h.place(c, opts.InitialTier); err != nil {
-			if opts.InitialTier == machine.DRAM {
-				// DRAM full: fall back to NVM.
-				if err2 := h.place(c, machine.NVM); err2 != nil {
-					return nil, err2
-				}
-			} else {
-				return nil, err
+		placed := false
+		var err error
+		for k := opts.InitialTier; int(k) < h.Mach.NumTiers(); k++ {
+			if err = h.place(c, k); err == nil {
+				placed = true
+				break
 			}
+		}
+		if !placed {
+			return nil, err
 		}
 		o.Chunks = append(o.Chunks, c)
 	}
@@ -262,33 +300,20 @@ func (h *Heap) Alloc(name string, size int64, opts AllocOptions) (*Object, error
 
 // place reserves tier space for a chunk that currently owns none.
 func (h *Heap) place(c *Chunk, k machine.TierKind) error {
-	switch k {
-	case machine.DRAM:
-		off, err := h.dramSvc.Alloc(c.Size)
-		if err != nil {
-			return err
-		}
-		c.tier, c.offset = machine.DRAM, off
-	case machine.NVM:
-		off, err := h.nvm.Alloc(c.Size)
-		if err != nil {
-			return err
-		}
-		c.tier, c.offset = machine.NVM, off
-	default:
+	if int(k) < 0 || int(k) >= len(h.allocs) {
 		return fmt.Errorf("memsys: unknown tier %v", k)
 	}
+	off, err := h.allocs[k].Alloc(c.Size)
+	if err != nil {
+		return err
+	}
+	c.tier, c.offset = k, off
 	return nil
 }
 
 // release returns the chunk's current tier reservation.
 func (h *Heap) release(c *Chunk) {
-	switch c.tier {
-	case machine.DRAM:
-		h.dramSvc.Free(c.offset, c.Size)
-	case machine.NVM:
-		h.nvm.Free(c.offset, c.Size)
-	}
+	h.allocs[c.tier].Free(c.offset, c.Size)
 }
 
 // Free releases every chunk of the object and removes it from the table.
@@ -334,19 +359,15 @@ func (h *Heap) MoveChunk(c *Chunk, k machine.TierKind) (int64, error) {
 	copy(newData, c.data)
 	c.data = newData
 	h.Stats.PointerRewrite++
-	switch oldTier {
-	case machine.DRAM:
-		h.dramSvc.Free(oldOff, c.Size)
-	case machine.NVM:
-		h.nvm.Free(oldOff, c.Size)
-	}
+	h.allocs[oldTier].Free(oldOff, c.Size)
 	h.Stats.Migrations++
 	h.Stats.BytesMigrated += c.Size
-	if k == machine.DRAM {
+	if k < oldTier {
 		h.Stats.ToDRAM++
 	} else {
 		h.Stats.ToNVM++
 	}
+	h.Stats.ToTier[k]++
 	return c.Size, nil
 }
 
@@ -372,15 +393,43 @@ func (h *Heap) TierOf(c *Chunk) machine.TierKind {
 	return c.tier
 }
 
-// ResidencySnapshot returns chunk name -> DRAM residency for every chunk,
-// taken atomically under the placement lock.
+// ResidencySnapshot returns chunk name -> fastest-tier residency for every
+// chunk, taken atomically under the placement lock.
 func (h *Heap) ResidencySnapshot() map[string]bool {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	out := make(map[string]bool)
 	for _, o := range h.objects {
 		for _, c := range o.Chunks {
-			out[c.Name()] = c.tier == machine.DRAM
+			out[c.Name()] = c.tier == 0
+		}
+	}
+	return out
+}
+
+// TierSnapshot returns chunk name -> current tier for every chunk, taken
+// atomically under the placement lock.
+func (h *Heap) TierSnapshot() map[string]machine.TierKind {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make(map[string]machine.TierKind)
+	for _, o := range h.objects {
+		for _, c := range o.Chunks {
+			out[c.Name()] = c.tier
+		}
+	}
+	return out
+}
+
+// TierResidencyBytes returns the simulated bytes of registered objects
+// resident per tier (index = tier), under the placement lock.
+func (h *Heap) TierResidencyBytes() []int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]int64, h.Mach.NumTiers())
+	for _, o := range h.objects {
+		for _, c := range o.Chunks {
+			out[c.tier] += c.Size
 		}
 	}
 	return out
@@ -390,11 +439,14 @@ func (h *Heap) ResidencySnapshot() map[string]bool {
 func (h *Heap) StatsSnapshot() MigrationStats {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	return h.Stats
+	s := h.Stats
+	s.ToTier = append([]int(nil), h.Stats.ToTier...)
+	return s
 }
 
-// NVMUsed returns bytes currently allocated in this rank's NVM arena.
-func (h *Heap) NVMUsed() int64 { return h.nvm.Used() }
+// NVMUsed returns bytes currently allocated in this rank's private
+// slowest-tier arena.
+func (h *Heap) NVMUsed() int64 { return h.slowest.Used() }
 
 // ChunkAt returns the chunk containing the simulated address, or nil.
 func (h *Heap) ChunkAt(addr int64) *Chunk {

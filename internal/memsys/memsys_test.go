@@ -169,7 +169,7 @@ func TestNodeServiceConcurrentRanks(t *testing.T) {
 func newTestHeap(t *testing.T, dram int64) *Heap {
 	t.Helper()
 	m := machine.PlatformA().WithDRAMCapacity(dram)
-	return NewHeap(m, NewNodeService(dram), HeapOptions{})
+	return NewHeap(m, NewNodeTiers(m), HeapOptions{})
 }
 
 func TestHeapAllocAndLookup(t *testing.T) {
@@ -316,7 +316,7 @@ func TestFreeReleasesSpace(t *testing.T) {
 
 func TestMaterializationCap(t *testing.T) {
 	m := machine.PlatformA()
-	h := NewHeap(m, NewNodeService(m.DRAMSpec.CapacityBytes), HeapOptions{MaterializeCap: 4096})
+	h := NewHeap(m, NewNodeTiers(m), HeapOptions{MaterializeCap: 4096})
 	o, _ := h.Alloc("huge", 1<<30, AllocOptions{InitialTier: machine.NVM})
 	if len(o.Chunks[0].Data()) != 4096 {
 		t.Fatalf("materialized %d bytes, want cap 4096", len(o.Chunks[0].Data()))
@@ -381,4 +381,86 @@ func TestConcurrentMoveAndRead(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+}
+
+func TestMultiTierHeap(t *testing.T) {
+	m := machine.PlatformHBMDDRNVM()
+	h := NewHeap(m, NewNodeTiers(m), HeapOptions{})
+	slow := m.SlowestIdx()
+	// Default (zero-option) placement with InitialTier 0 cascades down the
+	// hierarchy when the fast tiers are full.
+	big, err := h.Alloc("big", m.Tier(0).CapacityBytes+m.Tier(1).CapacityBytes, AllocOptions{InitialTier: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := big.Chunks[0].Tier(); got != slow {
+		t.Fatalf("oversized object landed in tier %d, want slowest %d", got, slow)
+	}
+	// A mid-tier allocation stays in the middle tier.
+	mid, err := h.Alloc("mid", 64<<20, AllocOptions{InitialTier: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Chunks[0].Tier() != 1 {
+		t.Fatalf("mid-tier object in tier %d", mid.Chunks[0].Tier())
+	}
+	// Tier-to-tier migration records per-tier arrivals and promotion counts.
+	if _, err := h.MoveChunk(mid.Chunks[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.MoveChunk(mid.Chunks[0], slow); err != nil {
+		t.Fatal(err)
+	}
+	st := h.StatsSnapshot()
+	if st.Migrations != 2 || st.ToDRAM != 1 || st.ToNVM != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.ToTier[0] != 1 || st.ToTier[slow] != 1 {
+		t.Fatalf("per-tier arrivals %v", st.ToTier)
+	}
+	// Snapshots carry real tier indices.
+	ts := h.TierSnapshot()
+	if ts["mid"] != slow || ts["big"] != slow {
+		t.Fatalf("tier snapshot %v", ts)
+	}
+	res := h.TierResidencyBytes()
+	if res[0] != 0 || res[1] != 0 || res[slow] != big.Size+mid.Size {
+		t.Fatalf("per-tier residency %v", res)
+	}
+}
+
+func TestNodeTiersSharedAcrossRanks(t *testing.T) {
+	// Two heaps on one node share the fast-tier allowances but keep
+	// private slowest-tier arenas.
+	m := machine.PlatformHBMDDRNVM()
+	node := NewNodeTiers(m)
+	h1 := NewHeap(m, node, HeapOptions{})
+	h2 := NewHeap(m, node, HeapOptions{})
+	cap0 := m.Tier(0).CapacityBytes
+	if _, err := h1.Alloc("a", cap0, AllocOptions{InitialTier: 0}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := h2.Alloc("b", cap0, AllocOptions{InitialTier: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Chunks[0].Tier() != 1 {
+		t.Fatalf("rank 2 should cascade to the mid tier, got %d", o.Chunks[0].Tier())
+	}
+	if node.Service(0).Used() != cap0 || node.Service(1).Used() != cap0 {
+		t.Fatalf("shared services wrong: %d %d", node.Service(0).Used(), node.Service(1).Used())
+	}
+	if h1.NVMUsed() != 0 || h2.NVMUsed() != 0 {
+		t.Fatalf("private slowest arenas should be empty: %d %d", h1.NVMUsed(), h2.NVMUsed())
+	}
+}
+
+func TestAllocRejectsUnknownTier(t *testing.T) {
+	h := newTestHeap(t, 64<<20)
+	if _, err := h.Alloc("oob", 1<<20, AllocOptions{InitialTier: 2}); err == nil {
+		t.Fatal("out-of-range InitialTier must error, not return (nil, nil)")
+	}
+	if _, err := h.Alloc("neg", 1<<20, AllocOptions{InitialTier: -1}); err == nil {
+		t.Fatal("negative InitialTier must error")
+	}
 }

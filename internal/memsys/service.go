@@ -1,6 +1,8 @@
 package memsys
 
 import (
+	"unimem/internal/machine"
+
 	"fmt"
 	"sync"
 )
@@ -84,4 +86,33 @@ func (s *NodeService) Allocations() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.allocs
+}
+
+// NodeTiers is the per-node coordination state of an N-tier hierarchy: one
+// NodeService per shared tier. Every tier except the slowest is
+// node-coordinated (its capacity is a per-node allowance the ranks share,
+// like the paper's DRAM service); the slowest tier is large and
+// contention-free, so each rank keeps a private extent arena for it.
+type NodeTiers struct {
+	svcs []*NodeService
+}
+
+// NewNodeTiers returns the coordination services for one node of machine m:
+// a NodeService for every tier but the slowest.
+func NewNodeTiers(m *machine.Machine) *NodeTiers {
+	n := m.NumTiers()
+	svcs := make([]*NodeService, n)
+	for t := 0; t < n-1; t++ {
+		svcs[t] = NewNodeService(m.Tier(machine.TierKind(t)).CapacityBytes)
+	}
+	return &NodeTiers{svcs: svcs}
+}
+
+// Service returns tier k's node service, or nil when the tier is privately
+// managed (the slowest tier, or an out-of-range index).
+func (n *NodeTiers) Service(k machine.TierKind) *NodeService {
+	if int(k) < 0 || int(k) >= len(n.svcs) {
+		return nil
+	}
+	return n.svcs[k]
 }

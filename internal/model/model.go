@@ -94,21 +94,35 @@ func (c *Config) Classify(bwBps float64) Sensitivity {
 }
 
 // BenefitBWNS implements Eq. 2: the per-phase-execution benefit, in ns, of
-// moving a bandwidth-bound object from NVM to DRAM.
+// moving a bandwidth-bound object from the slowest tier to the fastest
+// (NVM to DRAM on the paper's two-tier platforms).
 func (c *Config) BenefitBWNS(m *machine.Machine, sampledAccesses int64) float64 {
+	return c.BenefitBWBetweenNS(m, m.SlowestIdx(), 0, sampledAccesses)
+}
+
+// BenefitBWBetweenNS evaluates Eq. 2 against an arbitrary tier pair: the
+// benefit of moving a bandwidth-bound object from tier `from` to tier `to`
+// (negative when `to` has less bandwidth).
+func (c *Config) BenefitBWBetweenNS(m *machine.Machine, from, to machine.TierKind, sampledAccesses int64) float64 {
 	bytes := float64(sampledAccesses) * machine.CacheLineBytes
-	return (bytes/m.NVMSpec.BandwidthBps - bytes/m.DRAMSpec.BandwidthBps) * c.CFBw * 1e9
+	return (bytes/m.Tier(from).BandwidthBps - bytes/m.Tier(to).BandwidthBps) * c.CFBw * 1e9
 }
 
 // BenefitLatNS implements Eq. 3: the per-phase-execution benefit, in ns,
-// of moving a latency-bound object from NVM to DRAM. mlp is the observed
-// access concurrency (1 reduces to the paper's formula exactly, matching
-// the pointer-chasing benchmark CF_lat is calibrated on; see ObservedMLP).
+// of moving a latency-bound object from the slowest tier to the fastest.
+// mlp is the observed access concurrency (1 reduces to the paper's formula
+// exactly, matching the pointer-chasing benchmark CF_lat is calibrated on;
+// see ObservedMLP).
 func (c *Config) BenefitLatNS(m *machine.Machine, sampledAccesses int64, readFrac, mlp float64) float64 {
+	return c.BenefitLatBetweenNS(m, m.SlowestIdx(), 0, sampledAccesses, readFrac, mlp)
+}
+
+// BenefitLatBetweenNS evaluates Eq. 3 against an arbitrary tier pair.
+func (c *Config) BenefitLatBetweenNS(m *machine.Machine, from, to machine.TierKind, sampledAccesses int64, readFrac, mlp float64) float64 {
 	if mlp < 1 {
 		mlp = 1
 	}
-	dLat := m.NVMSpec.Latency(readFrac) - m.DRAMSpec.Latency(readFrac)
+	dLat := m.Tier(from).Latency(readFrac) - m.Tier(to).Latency(readFrac)
 	return float64(sampledAccesses) * dLat / mlp * c.CFLat
 }
 
@@ -156,25 +170,39 @@ type Estimate struct {
 	BenefitNS float64
 }
 
-// EstimateChunk evaluates Eq. 1-3 for one sampled chunk. tier is the
-// chunk's residence while it was profiled (needed to decompose its
-// observed service time into bandwidth and latency shares).
+// EstimateChunk evaluates Eq. 1-3 for one sampled chunk against the
+// hierarchy's extreme pair (slowest tier -> fastest tier, i.e. NVM -> DRAM
+// on two-tier platforms). tier is the chunk's residence while it was
+// profiled (needed to decompose its observed service time into bandwidth
+// and latency shares).
 func (c *Config) EstimateChunk(m *machine.Machine, s counters.ObjSample, ps *counters.PhaseSample, tier machine.TierKind) Estimate {
+	return c.EstimateChunkAt(m, s, ps, tier, m.SlowestIdx(), 0)
+}
+
+// EstimateChunkAt evaluates Eq. 1-3 for one sampled chunk against an
+// arbitrary tier pair: the predicted per-phase gain of residing in tier
+// `to` instead of tier `from`. The multi-tier placement calls it once per
+// candidate tier with `from` fixed to the slowest tier, producing the
+// per-tier weight vector of the multiple-choice knapsack. Negative gains
+// (a "faster" tier that is worse for this access mix, e.g. HBM for a
+// dependent chain) clamp to zero, matching Eq. 5's treatment of
+// non-beneficial moves.
+func (c *Config) EstimateChunkAt(m *machine.Machine, s counters.ObjSample, ps *counters.PhaseSample, profTier, from, to machine.TierKind) Estimate {
 	bw := ConsumedBWBps(s, ps)
 	sens := c.Classify(bw)
 	mlp := 1.0
 	if !c.LiteralEq3 {
-		mlp = ObservedMLP(m, s, ps, tier)
+		mlp = ObservedMLP(m, s, ps, profTier)
 	}
 	var benefit float64
 	switch sens {
 	case BandwidthBound:
-		benefit = c.BenefitBWNS(m, s.SampledAccesses)
+		benefit = c.BenefitBWBetweenNS(m, from, to, s.SampledAccesses)
 	case LatencyBound:
-		benefit = c.BenefitLatNS(m, s.SampledAccesses, s.ReadFrac, mlp)
+		benefit = c.BenefitLatBetweenNS(m, from, to, s.SampledAccesses, s.ReadFrac, mlp)
 	default:
-		b1 := c.BenefitBWNS(m, s.SampledAccesses)
-		b2 := c.BenefitLatNS(m, s.SampledAccesses, s.ReadFrac, mlp)
+		b1 := c.BenefitBWBetweenNS(m, from, to, s.SampledAccesses)
+		b2 := c.BenefitLatBetweenNS(m, from, to, s.SampledAccesses, s.ReadFrac, mlp)
 		if b1 > b2 {
 			benefit = b1
 		} else {
@@ -240,30 +268,30 @@ func Calibrate(m *machine.Machine, cfg counters.Config, seed uint64) Calibration
 
 	// STREAM on DRAM -> CF_bw.
 	accesses := int64(streamBytes / machine.CacheLineBytes)
-	measured := m.MemTimeNS(machine.DRAM, accesses, machine.Stream, 0.67)
+	measured := m.MemTimeNS(0, accesses, machine.Stream, 0.67)
 	ps := smp.Sample(measured, []counters.ChunkTraffic{{
 		Chunk: "stream", Object: "stream", Accesses: accesses,
 		ServiceNS: measured, ReadFrac: 0.67, Pattern: machine.Stream,
 	}})
 	sampled := ps.Objects[0].SampledAccesses
-	predicted := float64(sampled*machine.CacheLineBytes) / m.DRAMSpec.BandwidthBps * 1e9
+	predicted := float64(sampled*machine.CacheLineBytes) / m.Fastest().BandwidthBps * 1e9
 	cal := Calibration{StreamMeasuredNS: measured, StreamPredictedNS: predicted}
 	cal.CFBw = measured / predicted
 
 	// Pointer chase on DRAM -> CF_lat.
-	chaseMeasured := m.MemTimeNS(machine.DRAM, chaseAcc, machine.PointerChase, 1.0)
+	chaseMeasured := m.MemTimeNS(0, chaseAcc, machine.PointerChase, 1.0)
 	ps = smp.Sample(chaseMeasured, []counters.ChunkTraffic{{
 		Chunk: "chase", Object: "chase", Accesses: chaseAcc,
 		ServiceNS: chaseMeasured, ReadFrac: 1.0, Pattern: machine.PointerChase,
 	}})
 	sampled = ps.Objects[0].SampledAccesses
-	chasePred := float64(sampled) * m.DRAMSpec.Latency(1.0)
+	chasePred := float64(sampled) * m.Fastest().Latency(1.0)
 	cal.ChaseMeasuredNS = chaseMeasured
 	cal.ChasePredictedNS = chasePred
 	cal.CFLat = chaseMeasured / chasePred
 
 	// STREAM on NVM -> BW_peak via Eq. 1.
-	nvmMeasured := m.MemTimeNS(machine.NVM, accesses, machine.Stream, 0.67)
+	nvmMeasured := m.MemTimeNS(m.SlowestIdx(), accesses, machine.Stream, 0.67)
 	ps = smp.Sample(nvmMeasured, []counters.ChunkTraffic{{
 		Chunk: "stream", Object: "stream", Accesses: accesses,
 		ServiceNS: nvmMeasured, ReadFrac: 0.67, Pattern: machine.Stream,

@@ -46,8 +46,8 @@ func TestCalibrationFactors(t *testing.T) {
 	}
 	// BW_peak is the sampled view of NVM stream bandwidth: below raw tier
 	// bandwidth, well above zero.
-	if cal.BWPeakBps > m.NVMSpec.BandwidthBps || cal.BWPeakBps < 0.5*m.NVMSpec.BandwidthBps {
-		t.Errorf("BW_peak = %v vs tier %v", cal.BWPeakBps, m.NVMSpec.BandwidthBps)
+	if cal.BWPeakBps > m.Tier(machine.NVM).BandwidthBps || cal.BWPeakBps < 0.5*m.Tier(machine.NVM).BandwidthBps {
+		t.Errorf("BW_peak = %v vs tier %v", cal.BWPeakBps, m.Tier(machine.NVM).BandwidthBps)
 	}
 }
 
@@ -82,7 +82,7 @@ func TestEq1StreamNearTierBandwidth(t *testing.T) {
 	s, ps := sample(m, 1<<21, machine.Stream, machine.NVM, svc*1.25)
 	bw := ConsumedBWBps(s, ps)
 	// Sampled bandwidth = capture x consumed; the stream consumes ~tier bw.
-	want := 0.8 * m.NVMSpec.BandwidthBps
+	want := 0.8 * m.Tier(machine.NVM).BandwidthBps
 	if math.Abs(bw-want)/want > 0.15 {
 		t.Fatalf("Eq.1 stream bw = %v, want ~%v", bw, want)
 	}
@@ -93,7 +93,7 @@ func TestEq1PointerChaseTiny(t *testing.T) {
 	svc := m.MemTimeNS(machine.NVM, 1<<17, machine.PointerChase, 1)
 	s, ps := sample(m, 1<<17, machine.PointerChase, machine.NVM, svc*1.25)
 	bw := ConsumedBWBps(s, ps)
-	if bw > 0.1*m.NVMSpec.BandwidthBps {
+	if bw > 0.1*m.Tier(machine.NVM).BandwidthBps {
 		t.Fatalf("pointer chase consumed bw %v should be far below tier bw", bw)
 	}
 }
@@ -217,5 +217,54 @@ func TestCalibrationString(t *testing.T) {
 	cal := Calibration{CFBw: 1.25, CFLat: 1.33, BWPeakBps: 5e9}
 	if cal.String() == "" {
 		t.Fatal("empty calibration string")
+	}
+}
+
+// TestBetweenTierBenefits checks the generalized Eq. 2/3 against the
+// three-tier preset: benefits vs the slowest tier must rank tiers the way
+// their specs do, and the two-tier wrappers must agree with the explicit
+// (slowest, fastest) pair.
+func TestBetweenTierBenefits(t *testing.T) {
+	m := machine.PlatformHBMDDRNVM()
+	cfg := DefaultThresholds()
+	slow := m.SlowestIdx()
+	const acc = 1 << 20
+	// Bandwidth benefit: HBM (tier 0) must beat DDR (tier 1), both vs NVM.
+	bwHBM := cfg.BenefitBWBetweenNS(m, slow, 0, acc)
+	bwDDR := cfg.BenefitBWBetweenNS(m, slow, 1, acc)
+	if !(bwHBM > bwDDR && bwDDR > 0) {
+		t.Errorf("bandwidth benefit ordering wrong: HBM %v, DDR %v", bwHBM, bwDDR)
+	}
+	// Latency benefit: DDR (80ns) must beat HBM (90ns) vs NVM at read mix 1.
+	latHBM := cfg.BenefitLatBetweenNS(m, slow, 0, acc, 1, 1)
+	latDDR := cfg.BenefitLatBetweenNS(m, slow, 1, acc, 1, 1)
+	if !(latDDR > latHBM && latHBM > 0) {
+		t.Errorf("latency benefit ordering wrong: HBM %v, DDR %v", latHBM, latDDR)
+	}
+	// Moving "up" to a slower tier prices negative.
+	if v := cfg.BenefitBWBetweenNS(m, 0, slow, acc); v >= 0 {
+		t.Errorf("demotion bandwidth benefit %v should be negative", v)
+	}
+	// Two-tier wrappers match the explicit extreme pair.
+	a := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	if cfg.BenefitBWNS(a, acc) != cfg.BenefitBWBetweenNS(a, a.SlowestIdx(), 0, acc) {
+		t.Error("BenefitBWNS diverges from the explicit pair form")
+	}
+	if cfg.BenefitLatNS(a, acc, 0.5, 2) != cfg.BenefitLatBetweenNS(a, a.SlowestIdx(), 0, acc, 0.5, 2) {
+		t.Error("BenefitLatNS diverges from the explicit pair form")
+	}
+}
+
+// TestCalibrateMultiTier runs the calibration on a three-tier machine: the
+// microbenchmarks run on the fastest and slowest tiers, so the factors must
+// stay in the same plausible band as on two-tier platforms.
+func TestCalibrateMultiTier(t *testing.T) {
+	m := machine.PlatformHBMDDRNVM()
+	cal := Calibrate(m, counters.Default(), 0xCA1)
+	if cal.CFBw < 1.0 || cal.CFBw > 1.6 {
+		t.Errorf("CF_bw %v out of plausible range", cal.CFBw)
+	}
+	if cal.BWPeakBps > m.Slowest().BandwidthBps || cal.BWPeakBps < 0.5*m.Slowest().BandwidthBps {
+		t.Errorf("BW_peak %v vs slowest tier %v", cal.BWPeakBps, m.Slowest().BandwidthBps)
 	}
 }

@@ -8,10 +8,11 @@
 // not depend on goroutine scheduling (see Mover's determinism contract).
 //
 // Time accounting is in virtual nanoseconds: a migration occupies the
-// helper thread for the machine's copy time, starting no earlier than both
-// its enqueue point and the helper's previous completion. The portion of a
-// migration not finished by the time the main thread needs it is the
-// exposed (non-overlapped) cost — Eq. 4's COST after overlap.
+// helper thread for the (fromTier, toTier) edge's copy time on the
+// machine's tier graph, starting no earlier than both its enqueue point
+// and the helper's previous completion. The portion of a migration not
+// finished by the time the main thread needs it is the exposed
+// (non-overlapped) cost — Eq. 4's COST after overlap.
 package mover
 
 import (
@@ -33,7 +34,10 @@ type Request struct {
 
 // Completion records a finished (or failed) migration.
 type Completion struct {
-	Req        Request
+	Req Request
+	// From is the tier the chunk occupied when the copy was applied (the
+	// source edge of the tier graph; equals Req.To for no-op moves).
+	From       machine.TierKind
 	StartNS    int64
 	EndNS      int64
 	BytesMoved int64
@@ -161,6 +165,7 @@ func (m *Mover) applyLocked(upto uint64) {
 	for len(m.pending) > 0 && m.pending[0].seq <= upto {
 		req := m.pending[0]
 		m.pending = m.pending[1:]
+		from := m.heap.TierOf(req.Chunk)
 		bytes, err := m.heap.MoveChunk(req.Chunk, req.To)
 		start := req.EnqueueNS
 		if m.freeAtNS > start {
@@ -171,14 +176,16 @@ func (m *Mover) applyLocked(upto uint64) {
 			end = start // failed moves occupy no copy time
 			m.stats.Failed++
 		} else {
-			copyNS := m.heap.Mach.CopyTimeNS(bytes)
+			// The copy runs on the tier graph's (from, to) edge; on
+			// two-tier machines this is the hierarchy-wide copy bandwidth.
+			copyNS := m.heap.Mach.CopyTimeBetweenNS(from, req.To, bytes)
 			end = start + int64(copyNS)
 			m.stats.CopyNS += copyNS
 			m.stats.Completed++
 			m.stats.BytesMoved += bytes
 		}
 		m.freeAtNS = end
-		m.completions[req.seq] = Completion{Req: req, StartNS: start, EndNS: end, BytesMoved: bytes, Err: err}
+		m.completions[req.seq] = Completion{Req: req, From: from, StartNS: start, EndNS: end, BytesMoved: bytes, Err: err}
 		m.doneSeq = req.seq
 	}
 }

@@ -9,7 +9,7 @@ import (
 
 func testHeap() *memsys.Heap {
 	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
-	return memsys.NewHeap(m, memsys.NewNodeService(m.DRAMSpec.CapacityBytes), memsys.HeapOptions{})
+	return memsys.NewHeap(m, memsys.NewNodeTiers(m), memsys.HeapOptions{})
 }
 
 func TestMoveCompletesAndAccounts(t *testing.T) {
@@ -76,7 +76,7 @@ func TestFIFOSerialization(t *testing.T) {
 
 func TestFailedMoveReported(t *testing.T) {
 	m := machine.PlatformA().WithDRAMCapacity(1 << 20)
-	h := memsys.NewHeap(m, memsys.NewNodeService(1<<20), memsys.HeapOptions{})
+	h := memsys.NewHeap(m, memsys.NewNodeTiers(m), memsys.HeapOptions{})
 	o, _ := h.Alloc("big", 64<<20, memsys.AllocOptions{InitialTier: machine.NVM})
 	mv := New(h)
 	mv.Start()
@@ -169,5 +169,29 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if mv.Stats().Completed != 2 {
 		t.Fatalf("completed %d", mv.Stats().Completed)
+	}
+}
+
+func TestMultiTierMoveUsesEdgeBandwidth(t *testing.T) {
+	m := machine.PlatformHBMDDRNVM()
+	h := memsys.NewHeap(m, memsys.NewNodeTiers(m), memsys.HeapOptions{})
+	o, _ := h.Alloc("a", 32<<20, memsys.AllocOptions{InitialTier: 1})
+	mv := New(h)
+	mv.Start()
+	defer mv.Stop()
+
+	// DDR -> HBM runs on the fast HBM<->DDR edge, not the hierarchy-wide
+	// (NVM-limited) copy bandwidth.
+	seq := mv.Enqueue(o.Chunks[0], 0, 0)
+	stall := mv.Sync(seq, 0)
+	want := int64(m.CopyTimeBetweenNS(1, 0, 32<<20))
+	if stall != want {
+		t.Fatalf("stall %d, want edge copy time %d", stall, want)
+	}
+	if slow := int64(m.CopyTimeNS(32 << 20)); want >= slow {
+		t.Fatalf("edge copy %d should beat slowest-edge copy %d", want, slow)
+	}
+	if h.TierOf(o.Chunks[0]) != 0 {
+		t.Fatal("chunk not promoted")
 	}
 }

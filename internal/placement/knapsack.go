@@ -1,8 +1,11 @@
 // Package placement implements Unimem's data placement decision (§3.1.3):
 // per-object weights w = BFT - COST - extraCOST (Eq. 5), the 0-1 knapsack
 // over DRAM capacity solved with dynamic programming, the two search
-// strategies — phase-local and cross-phase global — and the construction of
-// the proactive migration schedule the helper thread executes.
+// strategies — phase-local and cross-phase global — the construction of
+// the proactive migration schedule the helper thread executes, and the
+// multiple-choice knapsack (SolveTiered) that generalizes placement to
+// N-tier hierarchies: each chunk assigned exactly one tier under per-tier
+// capacities.
 //
 // Inputs arrive as per-phase benefit maps (the Eq. 2/3 estimates of how
 // much faster a phase runs with a chunk DRAM-resident) and movement costs

@@ -1,0 +1,283 @@
+package placement
+
+import "sort"
+
+// TieredItem is one multiple-choice knapsack candidate: a chunk that must
+// be assigned to exactly one tier of an N-tier hierarchy, with an Eq. 5
+// style weight per tier (the predicted gain of residing there, net of
+// movement cost). WeightNS[t] is the weight of assigning the chunk to
+// tier t; all items must carry the same number of tiers.
+type TieredItem struct {
+	Chunk    string
+	Size     int64
+	WeightNS []float64
+}
+
+// TieredPlan is the outcome of SolveTiered.
+type TieredPlan struct {
+	// Assign maps chunk name -> chosen tier index.
+	Assign map[string]int
+	// TotalWeightNS is the summed weight of the assignment.
+	TotalWeightNS float64
+	// Solver records which strategy produced the plan: "argmax" (no
+	// constrained tier), "dp" (exact dynamic program) or "greedy" (the
+	// density fallback for large instances).
+	Solver string
+	// Work counts the solver's table cells (DP states x items, or the
+	// greedy/argmax candidate scans) so callers can charge the decision's
+	// critical-path cost proportionally to what actually ran.
+	Work int
+}
+
+// mckpGranularity is the size quantum of the DP tables, shared with the 0-1
+// knapsack (capacities are hundreds of MiB; every target object is larger).
+const mckpGranularity = knapGranularity
+
+// mckpMaxStates bounds the DP state space (capacity-granule cells per
+// item) and mckpMaxCells the total table work (states x items — the 2D
+// solver keeps one choice row per item, so memory scales with both);
+// beyond either bound SolveTiered falls back to the greedy density
+// heuristic.
+const (
+	mckpMaxStates = 1 << 21
+	mckpMaxCells  = 1 << 27
+)
+
+// SolveTiered solves the multiple-choice knapsack of N-tier placement:
+// every item is assigned exactly one tier, maximizing total weight subject
+// to per-tier capacity constraints. capacities[t] < 0 marks tier t
+// unconstrained (the slowest tier of a hierarchy, like the paper's NVM,
+// must always be unconstrained so a feasible assignment exists).
+//
+// Instances with at most two constrained tiers and a bounded state space
+// are solved exactly by dynamic programming over capacity granules; larger
+// instances use a greedy-by-density fallback that never exceeds any
+// capacity. Results are deterministic: ties break on item order.
+func SolveTiered(items []TieredItem, capacities []int64) *TieredPlan {
+	plan := &TieredPlan{Assign: make(map[string]int, len(items))}
+	if len(items) == 0 {
+		plan.Solver = "argmax"
+		return plan
+	}
+	nTiers := len(capacities)
+
+	// bestFree[i] is item i's best unconstrained tier (fallback residence).
+	bestFree := make([]int, len(items))
+	var constrained []int
+	for t, cap := range capacities {
+		if cap >= 0 {
+			constrained = append(constrained, t)
+		}
+	}
+	freeTier := func(it TieredItem) int {
+		best, bestW := -1, 0.0
+		for t := 0; t < nTiers && t < len(it.WeightNS); t++ {
+			if capacities[t] >= 0 {
+				continue
+			}
+			if best == -1 || it.WeightNS[t] > bestW {
+				best, bestW = t, it.WeightNS[t]
+			}
+		}
+		return best
+	}
+	for i, it := range items {
+		bestFree[i] = freeTier(it)
+		if bestFree[i] < 0 {
+			panic("placement: SolveTiered needs at least one unconstrained tier (capacity < 0)")
+		}
+	}
+
+	granules := func(size int64) int {
+		return int((size + mckpGranularity - 1) / mckpGranularity)
+	}
+	capGran := make([]int, nTiers)
+	for t, c := range capacities {
+		if c >= 0 {
+			capGran[t] = int(c / mckpGranularity)
+		}
+	}
+
+	switch {
+	case len(constrained) == 0:
+		// Pure argmax: no capacity interaction at all.
+		for i, it := range items {
+			plan.Assign[it.Chunk] = bestFree[i]
+			plan.TotalWeightNS += it.WeightNS[bestFree[i]]
+		}
+		plan.Solver = "argmax"
+		plan.Work = len(items)
+		return plan
+	case len(constrained) == 1 && (capGran[constrained[0]]+1)*len(items) <= mckpMaxStates:
+		solveTiered1D(items, bestFree, constrained[0], capGran[constrained[0]], granules, plan)
+		return plan
+	case len(constrained) == 2 &&
+		(capGran[constrained[0]]+1)*(capGran[constrained[1]]+1) <= mckpMaxStates &&
+		(capGran[constrained[0]]+1)*(capGran[constrained[1]]+1)*len(items) <= mckpMaxCells:
+		solveTiered2D(items, bestFree, constrained[0], constrained[1],
+			capGran[constrained[0]], capGran[constrained[1]], granules, plan)
+		return plan
+	default:
+		solveTieredGreedy(items, bestFree, constrained, capacities, plan)
+		return plan
+	}
+}
+
+// solveTiered1D is the exact DP for one constrained tier: each item either
+// takes its best unconstrained tier (no capacity cost) or the constrained
+// tier (costing its granule size).
+func solveTiered1D(items []TieredItem, bestFree []int, ct, cap int,
+	granules func(int64) int, plan *TieredPlan) {
+	dp := make([]float64, cap+1)
+	take := make([][]bool, len(items))
+	var base float64
+	for i, it := range items {
+		base += it.WeightNS[bestFree[i]]
+		gain := it.WeightNS[ct] - it.WeightNS[bestFree[i]]
+		sz := granules(it.Size)
+		take[i] = make([]bool, cap+1)
+		if sz > cap || it.Size <= 0 {
+			continue
+		}
+		for c := cap; c >= sz; c-- {
+			if v := dp[c-sz] + gain; v > dp[c] {
+				dp[c] = v
+				take[i][c] = true
+			}
+		}
+	}
+	c := cap
+	assign := make([]int, len(items))
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][c] {
+			assign[i] = ct
+			c -= granules(items[i].Size)
+		} else {
+			assign[i] = bestFree[i]
+		}
+	}
+	for i, it := range items {
+		plan.Assign[it.Chunk] = assign[i]
+	}
+	plan.TotalWeightNS = base + dp[cap]
+	plan.Solver = "dp"
+	plan.Work = (cap + 1) * len(items)
+}
+
+// solveTiered2D is the exact DP for two constrained tiers: per item the
+// choices are best-unconstrained (free), tier a (costs size on axis a) or
+// tier b (costs size on axis b).
+func solveTiered2D(items []TieredItem, bestFree []int, ta, tb, capA, capB int,
+	granules func(int64) int, plan *TieredPlan) {
+	w := capB + 1
+	idx := func(a, b int) int { return a*w + b }
+	dp := make([]float64, (capA+1)*w)
+	// choice[i] records per state: 0 = free tier, 1 = tier a, 2 = tier b.
+	choice := make([][]uint8, len(items))
+	var base float64
+	for i, it := range items {
+		base += it.WeightNS[bestFree[i]]
+		gainA := it.WeightNS[ta] - it.WeightNS[bestFree[i]]
+		gainB := it.WeightNS[tb] - it.WeightNS[bestFree[i]]
+		sz := granules(it.Size)
+		choice[i] = make([]uint8, (capA+1)*w)
+		if it.Size <= 0 {
+			continue
+		}
+		for a := capA; a >= 0; a-- {
+			for b := capB; b >= 0; b-- {
+				best := dp[idx(a, b)]
+				var pick uint8
+				if a >= sz {
+					if v := dp[idx(a-sz, b)] + gainA; v > best {
+						best, pick = v, 1
+					}
+				}
+				if b >= sz {
+					if v := dp[idx(a, b-sz)] + gainB; v > best {
+						best, pick = v, 2
+					}
+				}
+				if pick != 0 {
+					dp[idx(a, b)] = best
+					choice[i][idx(a, b)] = pick
+				}
+			}
+		}
+	}
+	a, b := capA, capB
+	assign := make([]int, len(items))
+	for i := len(items) - 1; i >= 0; i-- {
+		switch choice[i][idx(a, b)] {
+		case 1:
+			assign[i] = ta
+			a -= granules(items[i].Size)
+		case 2:
+			assign[i] = tb
+			b -= granules(items[i].Size)
+		default:
+			assign[i] = bestFree[i]
+		}
+	}
+	for i, it := range items {
+		plan.Assign[it.Chunk] = assign[i]
+	}
+	plan.TotalWeightNS = base + dp[idx(capA, capB)]
+	plan.Solver = "dp"
+	plan.Work = (capA + 1) * w * len(items)
+}
+
+// solveTieredGreedy is the large-instance fallback: candidates (item,
+// constrained tier) ranked by gain density over the item's best
+// unconstrained tier, assigned first-fit while tier budgets last. It never
+// exceeds a capacity and is deterministic (density desc, then chunk name,
+// then tier index).
+func solveTieredGreedy(items []TieredItem, bestFree []int, constrained []int,
+	capacities []int64, plan *TieredPlan) {
+	type cand struct {
+		item, tier int
+		gain       float64
+	}
+	var cands []cand
+	for i, it := range items {
+		if it.Size <= 0 {
+			continue
+		}
+		for _, t := range constrained {
+			if gain := it.WeightNS[t] - it.WeightNS[bestFree[i]]; gain > 0 {
+				cands = append(cands, cand{item: i, tier: t, gain: gain})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(x, y int) bool {
+		dx := cands[x].gain / float64(items[cands[x].item].Size)
+		dy := cands[y].gain / float64(items[cands[y].item].Size)
+		if dx != dy {
+			return dx > dy
+		}
+		if items[cands[x].item].Chunk != items[cands[y].item].Chunk {
+			return items[cands[x].item].Chunk < items[cands[y].item].Chunk
+		}
+		return cands[x].tier < cands[y].tier
+	})
+	remaining := append([]int64(nil), capacities...)
+	assign := make([]int, len(items))
+	done := make([]bool, len(items))
+	for _, c := range cands {
+		if done[c.item] || items[c.item].Size > remaining[c.tier] {
+			continue
+		}
+		assign[c.item] = c.tier
+		done[c.item] = true
+		remaining[c.tier] -= items[c.item].Size
+	}
+	for i, it := range items {
+		if !done[i] {
+			assign[i] = bestFree[i]
+		}
+		plan.Assign[it.Chunk] = assign[i]
+		plan.TotalWeightNS += it.WeightNS[assign[i]]
+	}
+	plan.Solver = "greedy"
+	plan.Work = len(cands) + len(items)
+}

@@ -1,0 +1,204 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"unimem/internal/xrand"
+)
+
+// bruteForceTiered enumerates every tier assignment of the items and
+// returns the best feasible total weight. Exponential — test-only, small
+// instances.
+func bruteForceTiered(items []TieredItem, capacities []int64) float64 {
+	nTiers := len(capacities)
+	best := math.Inf(-1)
+	assign := make([]int, len(items))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(items) {
+			used := make([]int64, nTiers)
+			var w float64
+			for j, it := range items {
+				used[assign[j]] += it.Size
+				w += it.WeightNS[assign[j]]
+			}
+			for t, c := range capacities {
+				if c >= 0 && used[t] > c {
+					return
+				}
+			}
+			if w > best {
+				best = w
+			}
+			return
+		}
+		for t := 0; t < nTiers; t++ {
+			assign[i] = t
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// checkFeasible verifies the plan assigns every item exactly one valid tier
+// and respects every constrained capacity.
+func checkFeasible(t *testing.T, items []TieredItem, capacities []int64, plan *TieredPlan) float64 {
+	t.Helper()
+	if len(plan.Assign) != len(items) {
+		t.Fatalf("assigned %d of %d items", len(plan.Assign), len(items))
+	}
+	used := make([]int64, len(capacities))
+	var w float64
+	for _, it := range items {
+		tier, ok := plan.Assign[it.Chunk]
+		if !ok {
+			t.Fatalf("item %s unassigned", it.Chunk)
+		}
+		if tier < 0 || tier >= len(capacities) {
+			t.Fatalf("item %s assigned to invalid tier %d", it.Chunk, tier)
+		}
+		used[tier] += it.Size
+		w += it.WeightNS[tier]
+	}
+	for tr, c := range capacities {
+		if c >= 0 && used[tr] > c {
+			t.Fatalf("tier %d over capacity: %d > %d (solver %s)", tr, used[tr], c, plan.Solver)
+		}
+	}
+	if math.Abs(w-plan.TotalWeightNS) > 1e-6*(1+math.Abs(w)) {
+		t.Fatalf("reported weight %v != recomputed %v", plan.TotalWeightNS, w)
+	}
+	return w
+}
+
+// randomInstance builds a small random MCKP instance with granule-aligned
+// sizes (so the DP's quantization is exact and brute force is comparable).
+func randomInstance(rng *xrand.RNG, maxItems, nTiers int) ([]TieredItem, []int64) {
+	n := 1 + int(rng.Uint64()%uint64(maxItems))
+	items := make([]TieredItem, n)
+	for i := range items {
+		w := make([]float64, nTiers)
+		for t := range w {
+			// Weights may be negative (a tier can be a bad fit).
+			w[t] = float64(int64(rng.Uint64()%2000)) - 500
+		}
+		items[i] = TieredItem{
+			Chunk:    fmt.Sprintf("c%d", i),
+			Size:     int64(1+rng.Uint64()%6) * mckpGranularity,
+			WeightNS: w,
+		}
+	}
+	capacities := make([]int64, nTiers)
+	for t := 0; t < nTiers-1; t++ {
+		capacities[t] = int64(rng.Uint64()%10) * mckpGranularity
+	}
+	capacities[nTiers-1] = -1 // slowest tier unconstrained
+	return items, capacities
+}
+
+// TestSolveTieredMatchesBruteForce is the solver's correctness property:
+// on random small instances with 1 or 2 constrained tiers the DP must find
+// exactly the brute-force optimum, and the assignment must be feasible.
+func TestSolveTieredMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(0x4C4B)
+	for _, nTiers := range []int{2, 3} {
+		for trial := 0; trial < 300; trial++ {
+			items, capacities := randomInstance(rng, 7, nTiers)
+			plan := SolveTiered(items, capacities)
+			if plan.Solver != "dp" {
+				t.Fatalf("small instance used solver %q, want dp", plan.Solver)
+			}
+			got := checkFeasible(t, items, capacities, plan)
+			want := bruteForceTiered(items, capacities)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("tiers=%d trial=%d: solver weight %v, brute force %v\nitems=%+v caps=%v",
+					nTiers, trial, got, want, items, capacities)
+			}
+		}
+	}
+}
+
+// TestSolveTieredGreedyNeverExceedsCapacity drives the greedy fallback
+// (many constrained tiers / big instances) and checks feasibility plus a
+// sanity bound: greedy is never better than brute force on small instances.
+func TestSolveTieredGreedyNeverExceedsCapacity(t *testing.T) {
+	rng := xrand.New(0x6EEED)
+	for trial := 0; trial < 200; trial++ {
+		// 4 tiers -> 3 constrained dims -> greedy path.
+		items, capacities := randomInstance(rng, 6, 4)
+		plan := SolveTiered(items, capacities)
+		if plan.Solver != "greedy" {
+			t.Fatalf("3 constrained tiers used solver %q, want greedy", plan.Solver)
+		}
+		got := checkFeasible(t, items, capacities, plan)
+		if want := bruteForceTiered(items, capacities); got > want+1e-6 {
+			t.Fatalf("greedy weight %v beats brute-force optimum %v", got, want)
+		}
+	}
+}
+
+// TestSolveTieredDegenerate covers the no-item, no-constraint and
+// oversized-item edges.
+func TestSolveTieredDegenerate(t *testing.T) {
+	if p := SolveTiered(nil, []int64{-1}); len(p.Assign) != 0 || p.TotalWeightNS != 0 {
+		t.Fatalf("empty instance: %+v", p)
+	}
+	// No constrained tier: argmax per item.
+	items := []TieredItem{{Chunk: "a", Size: mckpGranularity, WeightNS: []float64{3, 7}}}
+	p := SolveTiered(items, []int64{-1, -1})
+	if p.Solver != "argmax" || p.Assign["a"] != 1 {
+		t.Fatalf("argmax plan %+v", p)
+	}
+	// Item bigger than the constrained tier must fall to the slow tier.
+	items = []TieredItem{{Chunk: "big", Size: 100 * mckpGranularity, WeightNS: []float64{1e9, 0}}}
+	p = SolveTiered(items, []int64{10 * mckpGranularity, -1})
+	if p.Assign["big"] != 1 {
+		t.Fatalf("oversized item assigned to tier %d", p.Assign["big"])
+	}
+}
+
+// TestSolveTieredDeterministic re-solves the same instance and demands an
+// identical assignment (the experiment engine's golden outputs depend on
+// it).
+func TestSolveTieredDeterministic(t *testing.T) {
+	rng := xrand.New(0xDE7)
+	items, capacities := randomInstance(rng, 12, 3)
+	a := SolveTiered(items, capacities)
+	for i := 0; i < 5; i++ {
+		b := SolveTiered(items, capacities)
+		if a.TotalWeightNS != b.TotalWeightNS || a.Solver != b.Solver {
+			t.Fatal("non-deterministic solve")
+		}
+		for k, v := range a.Assign {
+			if b.Assign[k] != v {
+				t.Fatalf("assignment of %s differs across solves", k)
+			}
+		}
+	}
+}
+
+// FuzzSolveTiered feeds arbitrary seeds through the random-instance
+// generator; every instance must be feasible, and DP instances must match
+// brute force.
+func FuzzSolveTiered(f *testing.F) {
+	f.Add(uint64(1), uint8(3))
+	f.Add(uint64(42), uint8(2))
+	f.Add(uint64(0xDEAD), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, tiers uint8) {
+		nTiers := 2 + int(tiers%3) // 2..4 tiers
+		rng := xrand.New(seed)
+		items, capacities := randomInstance(rng, 6, nTiers)
+		plan := SolveTiered(items, capacities)
+		got := checkFeasible(t, items, capacities, plan)
+		want := bruteForceTiered(items, capacities)
+		if plan.Solver == "dp" && math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("dp weight %v != brute force %v", got, want)
+		}
+		if got > want+1e-6 {
+			t.Fatalf("infeasibly good weight %v > optimum %v", got, want)
+		}
+	})
+}

@@ -161,7 +161,7 @@ func TestFTPartitionableArrays(t *testing.T) {
 	}
 	m := machine.PlatformA()
 	for _, n := range []string{"u0", "u1", "u2"} {
-		if w.Object(n).Size <= m.DRAMSpec.CapacityBytes {
+		if w.Object(n).Size <= m.Fastest().CapacityBytes {
 			t.Errorf("%s must exceed default DRAM to exercise chunking", n)
 		}
 	}

@@ -29,8 +29,8 @@ func BuildPlacement(w *workloads.Workload, m *machine.Machine, prof *app.Recorde
 	benefit := make(map[string]float64)
 	for _, ph := range prof.Phases {
 		for _, t := range ph.Traffic {
-			nvm := m.MemTimeNS(machine.NVM, t.Accesses, t.Pattern, t.ReadFrac)
-			dram := m.MemTimeNS(machine.DRAM, t.Accesses, t.Pattern, t.ReadFrac)
+			nvm := m.MemTimeNS(m.SlowestIdx(), t.Accesses, t.Pattern, t.ReadFrac)
+			dram := m.MemTimeNS(0, t.Accesses, t.Pattern, t.ReadFrac)
 			benefit[t.Object] += nvm - dram
 		}
 	}
@@ -40,7 +40,7 @@ func BuildPlacement(w *workloads.Workload, m *machine.Machine, prof *app.Recorde
 			items = append(items, placement.Item{Chunk: os.Name, Size: os.Size, WeightNS: b})
 		}
 	}
-	chosen, _ := placement.Knapsack(items, m.DRAMSpec.CapacityBytes)
+	chosen, _ := placement.Knapsack(items, m.Fastest().CapacityBytes)
 	set := make(map[string]bool, len(chosen))
 	for _, i := range chosen {
 		set[items[i].Chunk] = true

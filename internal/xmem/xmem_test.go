@@ -40,8 +40,8 @@ func TestBuildPlacementPicksHotObjects(t *testing.T) {
 	for name := range set {
 		bytes += w.Object(name).Size
 	}
-	if bytes > m.DRAMSpec.CapacityBytes {
-		t.Fatalf("placement %d bytes exceeds DRAM %d", bytes, m.DRAMSpec.CapacityBytes)
+	if bytes > m.Fastest().CapacityBytes {
+		t.Fatalf("placement %d bytes exceeds DRAM %d", bytes, m.Fastest().CapacityBytes)
 	}
 }
 

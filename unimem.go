@@ -8,11 +8,14 @@
 // The package bundles the runtime (online counter-based profiling, the
 // Eq. 1-4 performance models, knapsack placement via phase-local and
 // cross-phase global search, proactive helper-thread migration) together
-// with the simulated substrate it manages: a two-tier memory system with
-// real byte backing, an MPI-like world of goroutine ranks with virtual
-// clocks, emulated sampling performance counters, the NPB/Nek5000
-// evaluation workloads, the X-Mem baseline, and a harness that regenerates
-// every table and figure of the paper's evaluation.
+// with the simulated substrate it manages: an N-tier memory hierarchy
+// with real byte backing (the paper's two-tier DRAM+NVM system as the
+// degenerate case, plus HBM/DDR/CXL/NVM presets placed by a
+// multiple-choice knapsack — see RunTiered), an MPI-like world of
+// goroutine ranks with virtual clocks, emulated sampling performance
+// counters, the NPB/Nek5000 evaluation workloads, the X-Mem baseline, and
+// a harness that regenerates every table and figure of the paper's
+// evaluation.
 //
 // # Quick start
 //
@@ -43,7 +46,11 @@ import (
 // Machine describes the simulated platform (tiers, CPU, network).
 type Machine = machine.Machine
 
-// TierKind identifies DRAM or NVM.
+// TierSpec describes one memory tier's performance and capacity.
+type TierSpec = machine.TierSpec
+
+// TierKind indexes a tier in a machine's ordered hierarchy (0 fastest);
+// DRAM and NVM name the two tiers of the paper's platforms.
 type TierKind = machine.TierKind
 
 // Pattern classifies an object's main-memory access behaviour.
@@ -67,6 +74,18 @@ func PlatformA() *Machine { return machine.PlatformA() }
 // Edison returns the strong-scaling platform (NUMA-emulated NVM: 0.6x
 // bandwidth, 1.89x latency).
 func Edison() *Machine { return machine.Edison() }
+
+// PlatformKNL returns a Knights-Landing-like HBM+DDR platform: a small,
+// very-high-bandwidth on-package tier over large DDR.
+func PlatformKNL() *Machine { return machine.PlatformKNL() }
+
+// PlatformCXL returns a CXL-memory-expansion platform: local DDR over a
+// large CXL-attached expander paying the link round trip.
+func PlatformCXL() *Machine { return machine.PlatformCXL() }
+
+// PlatformHBMDDRNVM returns the three-tier HBM+DDR+NVM stack (NVM at
+// Table 1's STT-RAM performance point).
+func PlatformHBMDDRNVM() *Machine { return machine.PlatformHBMDDRNVM() }
 
 // Config selects Unimem runtime features and model parameters.
 type Config = core.Config
@@ -106,8 +125,8 @@ func RunOpts(w *Workload, m *Machine, cfg Config, opts Options) (*Result, []*Run
 	return res, col.Runtimes, err
 }
 
-// RunNVMOnly executes the workload with every object pinned in NVM — the
-// NVM-only system of the paper's comparisons.
+// RunNVMOnly executes the workload with every object pinned in the slowest
+// tier — the NVM-only system of the paper's comparisons.
 func RunNVMOnly(w *Workload, m *Machine) (*Result, error) {
 	return app.Run(w, m, Options{}, app.NewStaticFactory("nvm-only", nil))
 }
@@ -118,6 +137,66 @@ func RunNVMOnly(w *Workload, m *Machine) (*Result, error) {
 func RunDRAMOnly(w *Workload, m *Machine) (*Result, error) {
 	dm := m.WithNVMLatencyFactor(1).WithNVMBandwidthFraction(1)
 	return app.Run(w, dm, Options{}, app.NewStaticFactory("dram-only", nil))
+}
+
+// RunFastestOnly executes the workload on the FastTwin of m: every tier at
+// the hierarchy's component-wise best performance (max bandwidth, min
+// latency) — the upper-bound baseline multi-tier results normalize
+// against (equivalent to RunDRAMOnly on two-tier machines).
+func RunFastestOnly(w *Workload, m *Machine) (*Result, error) {
+	return app.Run(w, m.FastTwin(), Options{}, app.NewStaticFactory("fast-only", nil))
+}
+
+// TierUsage summarizes one tier's residency and migration traffic for one
+// rank of a tiered run.
+type TierUsage struct {
+	// Tier is the hierarchy index (0 fastest); Name its technology label.
+	Tier int
+	Name string
+	// ResidentBytes is the rank's simulated bytes resident at run end.
+	ResidentBytes int64
+	// MovesIn counts migrations that arrived in this tier during the run.
+	MovesIn int
+}
+
+// TieredResult is a Result annotated with per-tier residency/migration
+// detail (rank 0).
+type TieredResult struct {
+	*Result
+	// Tiers has one entry per tier of the machine, fastest first.
+	Tiers []TierUsage
+}
+
+// RunTiered executes the workload on an N-tier machine under the Unimem
+// runtime (the multiple-choice-knapsack placement on machines deeper than
+// two tiers, the paper's exact pipeline on two-tier machines) and returns
+// the result annotated with rank 0's per-tier residency and migration
+// statistics, plus the per-rank runtimes for inspection.
+func RunTiered(w *Workload, m *Machine, cfg Config) (*TieredResult, []*Runtime, error) {
+	res, rts, err := RunOpts(w, m, cfg, Options{})
+	if err != nil {
+		return nil, rts, err
+	}
+	tr := &TieredResult{Result: res}
+	var resident []int64
+	for _, rt := range rts {
+		if rt.Rank() == 0 {
+			resident = rt.TierResidencyBytes()
+			break
+		}
+	}
+	r0 := res.Ranks[0]
+	for t := 0; t < m.NumTiers(); t++ {
+		u := TierUsage{Tier: t, Name: m.TierName(TierKind(t))}
+		if t < len(resident) {
+			u.ResidentBytes = resident[t]
+		}
+		if t < len(r0.Migrations.ToTier) {
+			u.MovesIn = r0.Migrations.ToTier[t]
+		}
+		tr.Tiers = append(tr.Tiers, u)
+	}
+	return tr, rts, nil
 }
 
 // RunXMem executes the workload under the X-Mem baseline: an offline

@@ -109,3 +109,56 @@ func TestBuilderValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestRunTieredEndToEnd drives the public N-tier API: RunTiered on the
+// three-tier platform must produce a multiple-choice-knapsack plan, beat
+// slowest-only, and report per-tier usage consistent with the machine.
+func TestRunTieredEndToEnd(t *testing.T) {
+	m := unimem.PlatformHBMDDRNVM()
+	w := buildApp(15)
+
+	fast, err := unimem.RunFastestOnly(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := unimem.RunNVMOnly(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := unimem.DefaultConfig()
+	cfg.Calibration = unimem.Calibrate(m)
+	res, rts, err := unimem.RunTiered(w, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fast.TimeNS <= res.TimeNS && res.TimeNS < slow.TimeNS) {
+		t.Fatalf("ordering violated: fast=%d tiered=%d slow=%d", fast.TimeNS, res.TimeNS, slow.TimeNS)
+	}
+	if len(res.Tiers) != m.NumTiers() {
+		t.Fatalf("tier usage entries %d, want %d", len(res.Tiers), m.NumTiers())
+	}
+	var resident int64
+	for i, u := range res.Tiers {
+		if u.Tier != i || u.Name != m.TierName(unimem.TierKind(i)) {
+			t.Fatalf("tier usage %d mislabeled: %+v", i, u)
+		}
+		resident += u.ResidentBytes
+	}
+	if resident != w.TotalObjectBytes() {
+		t.Fatalf("per-tier residency sums to %d, want total footprint %d", resident, w.TotalObjectBytes())
+	}
+	for _, rt := range rts {
+		if rt.TierPlan() == nil {
+			t.Fatal("multi-tier runtime has no tier plan")
+		}
+		if rt.Plan() != nil {
+			t.Fatal("multi-tier runtime should not carry a two-tier plan")
+		}
+	}
+	// The streamed object must land in a faster tier than the chased one
+	// stays out of: field is bandwidth-bound (HBM), index latency-bound.
+	tp := rts[0].TierPlan()
+	if tp.Assign["field"] >= m.NumTiers()-1 {
+		t.Errorf("bandwidth-bound object left in the slowest tier: %v", tp.Assign)
+	}
+}
