@@ -17,8 +17,9 @@ import (
 	"unimem/internal/placement"
 )
 
-// runExp executes one experiment per benchmark iteration.
-func runExp(b *testing.B, id string) *unimem.Experiment {
+// runExp executes one experiment per benchmark iteration; optional
+// configure hooks adjust the quick suite before the timed loop.
+func runExp(b *testing.B, id string, configure ...func(*unimem.ExperimentSuite)) *unimem.Experiment {
 	b.Helper()
 	_, reg := unimem.Experiments()
 	runner, ok := reg[id]
@@ -27,6 +28,9 @@ func runExp(b *testing.B, id string) *unimem.Experiment {
 	}
 	s := unimem.NewExperimentSuite()
 	s.Quick = true
+	for _, fn := range configure {
+		fn(s)
+	}
 	var tbl *unimem.Experiment
 	var err error
 	b.ResetTimer()
@@ -169,6 +173,49 @@ func BenchmarkTierscape(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkScenarioGen measures the synthetic scenario generator plus the
+// spec round trip (generate -> encode -> parse -> compile) across every
+// archetype — the fleet experiment's per-scenario setup cost.
+func BenchmarkScenarioGen(b *testing.B) {
+	archetypes := unimem.ScenarioArchetypes()
+	var encoded int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := archetypes[i%len(archetypes)]
+		spec, err := unimem.GenerateScenario(a, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := spec.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := spec.Compile(); err != nil {
+			b.Fatal(err)
+		}
+		encoded += int64(len(data))
+	}
+	b.StopTimer()
+	b.SetBytes(encoded / int64(b.N))
+}
+
+// BenchmarkScenarioFleet regenerates the randomized scenario-fleet
+// experiment (2 scenarios/archetype in Quick mode) and reports the best
+// drifting archetype's geomean Unimem-vs-static speedup.
+func BenchmarkScenarioFleet(b *testing.B) {
+	tbl := runExp(b, "scenariofleet", func(s *unimem.ExperimentSuite) { s.Fleet = 2 })
+	best := 0.0
+	for _, agg := range tbl.FleetAggregates {
+		switch agg.Archetype {
+		case "pattern-drift", "ws-growth", "hot-rotation":
+			if agg.Geomean > best {
+				best = agg.Geomean
+			}
+		}
+	}
+	b.ReportMetric(best, "drift-geomean-x")
 }
 
 // BenchmarkTieredPlacement measures the N-tier placement hot path: one

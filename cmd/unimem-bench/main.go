@@ -14,6 +14,7 @@
 //	unimem-bench -exp all -quick -parallel
 //	unimem-bench -exp fig9,table4 -workers 8 -json results.json
 //	unimem-bench -exp table4 -csv out.csv
+//	unimem-bench -exp scenariofleet -quick -fleet 8 -parallel
 package main
 
 import (
@@ -55,6 +56,7 @@ func main() {
 		ranks    = flag.Int("ranks", 4, "MPI world size")
 		seed     = flag.Uint64("seed", 0xD07, "deterministic seed")
 		quick    = flag.Bool("quick", false, "cap iteration counts (fast, less faithful)")
+		fleet    = flag.Int("fleet", 0, "scenarios per archetype for -exp scenariofleet (0: default 4)")
 		parallel = flag.Bool("parallel", false, "fan experiment cells across GOMAXPROCS workers")
 		workersN = flag.Int("workers", 0, "worker-pool width (overrides -parallel; 1 = serial)")
 		csv      = flag.String("csv", "", "also write results as CSV to this file")
@@ -84,6 +86,7 @@ func main() {
 	s.Ranks = *ranks
 	s.Seed = *seed
 	s.Quick = *quick
+	s.Fleet = *fleet
 	s.Workers = workers
 
 	var ids []string

@@ -12,6 +12,8 @@
 //	unimem-inspect -workload Nek5000 -nvm halfbw -ranks 4
 //	unimem-inspect -workload CG -platform hbm-ddr-nvm
 //	unimem-inspect -workload MG -platform knl
+//	unimem-inspect -scenario drift.json -nvm lat4
+//	unimem-inspect -gen hot-rotation -seed 7
 package main
 
 import (
@@ -26,6 +28,9 @@ import (
 func main() {
 	var (
 		name     = flag.String("workload", "CG", "CG|FT|BT|LU|SP|MG|Nek5000")
+		scen     = flag.String("scenario", "", "load the workload from a declarative spec file (overrides -workload)")
+		genArch  = flag.String("gen", "", "generate a synthetic scenario of this archetype (overrides -workload; see unimem.ScenarioArchetypes)")
+		genSeed  = flag.Uint64("seed", 1, "scenario-generator seed for -gen")
 		class    = flag.String("class", "C", "NPB class")
 		ranks    = flag.Int("ranks", 4, "world size")
 		nvm      = flag.String("nvm", "halfbw", "NVM config for -platform a: halfbw|quarterbw|lat2|lat4|edison")
@@ -34,10 +39,15 @@ func main() {
 	)
 	flag.Parse()
 
-	nvmSet := false
+	nvmSet, ranksSet, classSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "nvm" {
+		switch f.Name {
+		case "nvm":
 			nvmSet = true
+		case "ranks":
+			ranksSet = true
+		case "class":
+			classSet = true
 		}
 	})
 	if nvmSet && *platform != "a" {
@@ -81,10 +91,34 @@ func main() {
 	}
 
 	var w *unimem.Workload
-	if *name == "Nek5000" {
+	var err error
+	switch {
+	case *scen != "":
+		w, err = unimem.LoadWorkload(*scen)
+		check(err)
+		fmt.Printf("scenario %s (%d objects, %d phases, %d iterations)\n\n",
+			*scen, len(w.Objects), len(w.Phases), w.Iterations)
+	case *genArch != "":
+		spec, err := unimem.GenerateScenario(unimem.ScenarioArchetype(*genArch), *genSeed)
+		check(err)
+		w, err = spec.Compile()
+		check(err)
+		fmt.Printf("generated %s (seed %d, digest %s)\n\n", spec.Name, *genSeed, spec.Digest())
+	case *name == "Nek5000":
 		w = unimem.NewNek5000(*class, *ranks)
-	} else {
+	default:
 		w = unimem.NewNPB(*name, *class, *ranks)
+	}
+	if *scen != "" || *genArch != "" {
+		// Spec workloads bake in their own world size; an explicit -ranks
+		// overrides it (like the fleet experiment's -ranks does), and
+		// -class has no meaning for specs.
+		if ranksSet {
+			w.Ranks = *ranks
+		}
+		if classSet {
+			fmt.Fprintln(os.Stderr, "-class is ignored for -scenario/-gen workloads")
+		}
 	}
 
 	cal := unimem.Calibrate(m)
@@ -116,11 +150,15 @@ func main() {
 	for _, rt := range rts {
 		rr := res.Ranks[rt.Rank()]
 		ms := rt.MoverStats()
-		fmt.Printf("rank %d: decisions=%d migrations=%d moved=%dMiB failed=%d overlap=%.1f%% overhead=%.2f%%\n",
+		fmt.Printf("rank %d: decisions=%d migrations=%d moved=%dMiB failed=%d overlap=%.1f%% overhead=%.2f%%",
 			rt.Rank(), rt.Decisions, rr.Migrations.Migrations,
 			rr.Migrations.BytesMigrated>>20, rr.Migrations.FailedNoSpace,
 			ms.OverlapFrac()*100,
 			rr.OverheadNS/float64(rr.TimeNS)*100)
+		if len(rt.ReprofileIters) > 0 {
+			fmt.Printf(" reprofiled@%v", rt.ReprofileIters)
+		}
+		fmt.Println()
 	}
 
 	fmt.Printf("\nrank 0 per-tier residency:\n")

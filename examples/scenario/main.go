@@ -1,0 +1,94 @@
+// Scenario: drive the declarative workload layer end to end — generate a
+// synthetic drifting scenario, save it as a JSON spec, load it back (the
+// file round trip is exact), and compare static hint-density placement
+// against the Unimem runtime on it. The drift is what separates them: the
+// hot object changes mid-run, the static placement goes stale, and the
+// runtime's variation monitor re-profiles and migrates.
+//
+//	go run ./examples/scenario
+//	go run ./examples/scenario -archetype hot-rotation -seed 9
+//	go run ./examples/scenario -spec my-workload.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"unimem"
+)
+
+func main() {
+	var (
+		arch = flag.String("archetype", "pattern-drift", "scenario archetype to generate")
+		seed = flag.Uint64("seed", 3, "generator seed")
+		spec = flag.String("spec", "", "run this spec file instead of generating one")
+		keep = flag.String("save", "", "also save the generated spec to this path")
+	)
+	flag.Parse()
+
+	path := *spec
+	if path == "" {
+		// Generate a scenario and write it through the file format, so the
+		// run below exercises the exact same path a hand-written spec takes.
+		s, err := unimem.GenerateScenario(unimem.ScenarioArchetype(*arch), *seed)
+		must(err)
+		f, err := os.CreateTemp("", s.Name+"-*.json")
+		must(err)
+		must(f.Close())
+		path = f.Name()
+		defer os.Remove(path)
+		must(s.Save(path))
+		fmt.Printf("generated %s (digest %s)\n", s.Name, s.Digest())
+		if *keep != "" {
+			must(s.Save(*keep))
+			fmt.Printf("spec saved to %s\n", *keep)
+		}
+	}
+
+	w, err := unimem.LoadWorkload(path)
+	must(err)
+	fmt.Printf("loaded %s: %d objects, %d phases, %d iterations, %d MiB of target data\n\n",
+		path, len(w.Objects), len(w.Phases), w.Iterations, w.TotalObjectBytes()>>20)
+
+	// The paper's two-tier machine at its harshest NVM point.
+	m := unimem.PlatformA().WithNVMLatencyFactor(4)
+	cfg := unimem.DefaultConfig()
+	cfg.Calibration = unimem.Calibrate(m)
+
+	fast, err := unimem.RunFastestOnly(w, m)
+	must(err)
+	slow, err := unimem.RunNVMOnly(w, m)
+	must(err)
+	xm, err := unimem.RunXMem(w, m)
+	must(err)
+	uni, rts, err := unimem.Run(w, m, cfg)
+	must(err)
+
+	norm := func(t int64) float64 { return float64(t) / float64(fast.TimeNS) }
+	fmt.Printf("%-12s %10s  %s\n", "config", "time", "vs DRAM-only")
+	fmt.Printf("%-12s %8.1fms  %.2fx\n", "dram-only", float64(fast.TimeNS)/1e6, 1.0)
+	fmt.Printf("%-12s %8.1fms  %.2fx\n", "nvm-only", float64(slow.TimeNS)/1e6, norm(slow.TimeNS))
+	fmt.Printf("%-12s %8.1fms  %.2fx  (one-shot offline profile)\n", "x-mem", float64(xm.TimeNS)/1e6, norm(xm.TimeNS))
+	fmt.Printf("%-12s %8.1fms  %.2fx\n\n", "unimem", float64(uni.TimeNS)/1e6, norm(uni.TimeNS))
+
+	for _, rt := range rts {
+		if rt.Rank() != 0 {
+			continue
+		}
+		fmt.Printf("rank 0: %d decisions", rt.Decisions)
+		if len(rt.ReprofileIters) > 0 {
+			fmt.Printf(", re-profiled at iterations %v (the drift, detected)", rt.ReprofileIters)
+		}
+		fmt.Printf("\nrank 0 final DRAM residents: %v\n", rt.DRAMResidents())
+	}
+	fmt.Printf("migrations: %d (%d MiB moved)\n",
+		uni.TotalMigrations(), uni.TotalBytesMigrated()>>20)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

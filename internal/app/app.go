@@ -171,10 +171,14 @@ func Run(w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFact
 				mgr.PhaseBegin(ctx, ph.Name, ph.Kind, ph.Comm.String())
 
 				start := c.Clock()
-				traffic, serviceNS := ExpandTraffic(ctx, ph.Refs(iter))
+				refs := ph.Refs(iter)
+				if f := ph.RankScale(rank, opts.Ranks); f != 1 {
+					refs = scaleRefs(refs, f)
+				}
+				traffic, serviceNS := ExpandTraffic(ctx, refs)
 				c.Advance(int64(serviceNS))
-				execComm(c, ph)
-				c.Advance(int64(m.ComputeTimeNS(ph.Flops)))
+				execComm(c, ph, iter)
+				c.Advance(int64(m.ComputeTimeNS(ph.Flops * ph.RankScale(rank, opts.Ranks))))
 				dur := float64(c.Clock() - start)
 
 				if rank == 0 {
@@ -211,22 +215,38 @@ func Run(w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFact
 	return res, nil
 }
 
-// execComm performs the phase's MPI operation on the rank's communicator.
-func execComm(c *mpisim.Comm, ph *workloads.Phase) {
+// scaleRefs returns a copy of refs with access counts scaled by f (floored
+// at one access, like the workload builders do), for rank-imbalanced phases.
+func scaleRefs(refs []phase.Ref, f float64) []phase.Ref {
+	out := make([]phase.Ref, len(refs))
+	for i, r := range refs {
+		r.Accesses = int64(float64(r.Accesses) * f)
+		if r.Accesses < 1 {
+			r.Accesses = 1
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// execComm performs the phase's MPI operation on the rank's communicator,
+// at the iteration's scheduled communication volume.
+func execComm(c *mpisim.Comm, ph *workloads.Phase, iter int) {
+	bytes := ph.CommBytesAt(iter)
 	switch ph.Comm {
 	case workloads.CommNone:
 	case workloads.CommAllreduce:
-		c.Allreduce(ph.CommBytes)
+		c.Allreduce(bytes)
 	case workloads.CommHalo:
 		p := c.Size()
 		right := (c.Rank() + 1) % p
 		left := (c.Rank() - 1 + p) % p
-		c.SendRecv(right, left, 7001, ph.CommBytes, nil)
-		c.SendRecv(left, right, 7002, ph.CommBytes, nil)
+		c.SendRecv(right, left, 7001, bytes, nil)
+		c.SendRecv(left, right, 7002, bytes, nil)
 	case workloads.CommAlltoall:
-		c.Alltoall(ph.CommBytes)
+		c.Alltoall(bytes)
 	case workloads.CommBcast:
-		c.Bcast(ph.CommBytes)
+		c.Bcast(bytes)
 	case workloads.CommBarrier:
 		c.Barrier()
 	case workloads.CommWaitHalo:
@@ -235,7 +255,7 @@ func execComm(c *mpisim.Comm, ph *workloads.Phase) {
 		p := c.Size()
 		right := (c.Rank() + 1) % p
 		left := (c.Rank() - 1 + p) % p
-		reqOut := c.Isend(right, 7003, ph.CommBytes, nil)
+		reqOut := c.Isend(right, 7003, bytes, nil)
 		reqIn := c.Irecv(left, 7003)
 		reqOut.Wait()
 		reqIn.Wait()

@@ -132,6 +132,11 @@ type Runtime struct {
 	overheadNS float64
 	// Decisions counts placement decisions taken (1 + re-profiles).
 	Decisions int
+	// ReprofileIters records the completed-iteration counts at which the
+	// variation monitor (>10% drift, §3.2) scheduled a re-profile — the
+	// adaptation timeline under drifting workloads, for inspection
+	// tooling and the scenario-fleet diagnostics.
+	ReprofileIters []int
 	// Candidates holds every plan the latest decision considered (for
 	// inspection tooling).
 	Candidates []*placement.Plan
@@ -447,6 +452,7 @@ func (r *Runtime) PhaseEnd(ctx *app.RankCtx, durNS float64, traffic []counters.C
 	}
 	if rel > r.cfg.VariationThreshold && !r.reprofileNext {
 		r.reprofileNext = true
+		r.ReprofileIters = append(r.ReprofileIters, r.reg.Iter())
 	}
 }
 

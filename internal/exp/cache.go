@@ -25,8 +25,14 @@ import (
 // them as the same DRAM-only baseline.
 type RunKey struct {
 	// Workload is name|class|ranks|iterations of the (prep-applied)
-	// workload; all workload content is a pure function of those four.
+	// workload; for built-in workloads all content is a pure function of
+	// those four.
 	Workload string
+	// Spec is the content digest of the declarative scenario spec the
+	// workload was compiled from ("" for built-ins): two scenarios that
+	// share a name but differ anywhere in their spec — one schedule
+	// entry is enough — must never share a cache entry.
+	Spec string
 	// Machine is the performance fingerprint from machineFingerprint.
 	Machine string
 	// Strategy identifies the placement policy ("static:dram-only",
@@ -47,6 +53,7 @@ type RunKey struct {
 func keyFor(w *workloads.Workload, m *machine.Machine, strategy string, opts app.Options) RunKey {
 	return RunKey{
 		Workload: fmt.Sprintf("%s|%s|%d|%d", w.Name, w.Class, w.Ranks, w.Iterations),
+		Spec:     w.SpecDigest,
 		Machine:  machineFingerprint(m),
 		Strategy: strategy,
 		Ranks:    opts.Ranks,

@@ -8,6 +8,8 @@ import (
 
 	"unimem/internal/app"
 	"unimem/internal/machine"
+	"unimem/internal/scenario"
+	"unimem/internal/workloads"
 )
 
 func testKey(strategy string) RunKey {
@@ -193,5 +195,53 @@ func TestMachineFingerprintHashesFullTierList(t *testing.T) {
 	// KNL and CXL share tier count but no tier specs.
 	if machineFingerprint(machine.PlatformKNL()) == machineFingerprint(machine.PlatformCXL()) {
 		t.Error("KNL and CXL platforms must not collide")
+	}
+}
+
+// TestRunKeyHashesScenarioSpec pins the scenario-subsystem satellite: two
+// scenarios that differ only in one schedule entry (same name, class,
+// ranks, iterations) must not share a cache entry — the key carries the
+// spec's content digest.
+func TestRunKeyHashesScenarioSpec(t *testing.T) {
+	spec, err := scenario.Generate(scenario.ArchHotRotation, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweaked, err := scenario.Generate(scenario.ArchHotRotation, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate exactly one piecewise-schedule entry.
+	for i := range tweaked.Phases {
+		p := &tweaked.Phases[i]
+		for j := range p.Refs {
+			if len(p.Refs[j].Schedule) > 0 {
+				p.Refs[j].Schedule[0].Scale *= 2
+				goto mutated
+			}
+		}
+	}
+	t.Fatal("generated scenario has no schedule entry to mutate")
+mutated:
+	wa, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := tweaked.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wa.Name != wb.Name || wa.Iterations != wb.Iterations {
+		t.Fatal("test premise broken: the two scenarios should differ only in the spec body")
+	}
+	m := machine.PlatformA().WithNVMLatencyFactor(4)
+	ka := keyFor(wa, m, "static:slow-only", app.Options{Ranks: wa.Ranks, Seed: 1})
+	kb := keyFor(wb, m, "static:slow-only", app.Options{Ranks: wb.Ranks, Seed: 1})
+	if ka == kb {
+		t.Error("scenarios differing in one schedule entry share a RunKey")
+	}
+	// Built-ins keep digest-free keys, so existing cache sharing is intact.
+	if k := keyFor(workloads.NewCG("C", 4), m, "x", app.Options{}); k.Spec != "" {
+		t.Errorf("built-in workload unexpectedly carries spec digest %q", k.Spec)
 	}
 }

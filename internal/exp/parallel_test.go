@@ -87,7 +87,7 @@ func renderExp(t *testing.T, id string, workers int) []byte {
 // tierscape exercises the multi-tier platforms and the multiple-choice-
 // knapsack runtime path).
 func TestSerialParallelEquivalence(t *testing.T) {
-	for _, id := range []string{"fig9", "table4", "fig4", "tierscape"} {
+	for _, id := range []string{"fig9", "table4", "fig4", "tierscape", "scenariofleet"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"unimem/internal/machine"
+	"unimem/internal/scenario"
+	"unimem/internal/workloads"
+)
+
+// FleetStat is one (scenario, platform) cell of the scenario-fleet
+// experiment: execution times per strategy (ns), the Unimem-vs-static
+// speedup, and the adaptation counters — the machine-readable form of a
+// table row.
+type FleetStat struct {
+	Archetype string `json:"archetype"`
+	Scenario  string `json:"scenario"`
+	Seed      uint64 `json:"seed"`
+	Platform  string `json:"platform"`
+	FastestNS int64  `json:"fastest_ns"`
+	StaticNS  int64  `json:"static_ns"`
+	XMemNS    int64  `json:"xmem_ns"`
+	UnimemNS  int64  `json:"unimem_ns"`
+	// SpeedupVsStatic is StaticNS/UnimemNS: > 1 means the online runtime
+	// beat the hint-density static placement.
+	SpeedupVsStatic float64 `json:"speedup_vs_static"`
+	Migrations      int     `json:"migrations"`
+	// Decisions is rank 0's placement-decision count (1 + re-profiles):
+	// how often the runtime adapted.
+	Decisions int `json:"decisions"`
+}
+
+// FleetAggregate summarizes one archetype across its sampled scenarios
+// and platforms.
+type FleetAggregate struct {
+	Archetype string `json:"archetype"`
+	N         int    `json:"n"`
+	// Geomean/Min/Max summarize SpeedupVsStatic across the archetype's
+	// cells.
+	Geomean float64 `json:"geomean_speedup"`
+	Min     float64 `json:"min_speedup"`
+	Max     float64 `json:"max_speedup"`
+	// Wins/Losses/Ties count cells where Unimem beat / lost to / tied
+	// static placement (±1% band).
+	Wins   int `json:"wins"`
+	Losses int `json:"losses"`
+	Ties   int `json:"ties"`
+	// Worst names the tail cell (lowest speedup) for diagnosis.
+	Worst        string  `json:"worst"`
+	WorstSpeedup float64 `json:"worst_speedup"`
+}
+
+// fleetPlatforms returns the platforms each sampled scenario runs on: the
+// paper's two-tier machine at its harshest NVM point (4x latency, where
+// placement matters most) and a capacity-tightened three-tier HBM+DDR+NVM
+// stack (the multiple-choice-knapsack path). The stock three-tier preset's
+// 384 MiB of combined fast capacity swallows a generated scenario whole;
+// shrinking HBM to 96 MiB and DDR to 160 MiB restores placement tension
+// at the generator's object scale.
+func fleetPlatforms() []*machine.Machine {
+	tight := machine.PlatformHBMDDRNVM().
+		WithTierCapacity(0, 96<<20).
+		WithTierCapacity(1, 160<<20)
+	tight.Name = "HBM+DDR+NVM/tight"
+	return []*machine.Machine{
+		machine.PlatformA().WithNVMLatencyFactor(4),
+		tight,
+	}
+}
+
+// fleet returns the effective scenarios-per-archetype count.
+func (s *Suite) fleet() int {
+	if s.Fleet > 0 {
+		return s.Fleet
+	}
+	return 4
+}
+
+// fleetTieBand is the ±band on SpeedupVsStatic inside which a cell counts
+// as a tie.
+const fleetTieBand = 0.01
+
+// ScenarioFleet is the randomized fleet experiment: sample Fleet scenarios
+// per generator archetype, run each on every fleet platform under four
+// strategies — fastest-tier-only (normalization baseline), hint-density
+// static placement, the X-Mem offline profile, and the full Unimem
+// runtime — and aggregate per archetype: geomean/min/max Unimem-vs-static
+// speedup, win/loss counts, and the tail scenarios where Unimem loses.
+// Cells fan across the worker pool; the baseline runs are memoized in the
+// run cache under keys that hash each scenario's spec digest.
+func (s *Suite) ScenarioFleet() (*Table, error) {
+	t := &Table{
+		ID: "scenariofleet",
+		Title: fmt.Sprintf("Scenario fleet: %d scenarios/archetype x platforms x strategies",
+			s.fleet()),
+		Columns: []string{"Archetype", "Scenario", "Platform", "Static", "X-Mem",
+			"Unimem", "Speedup vs static", "Migrations", "Decisions"},
+	}
+	platforms := fleetPlatforms()
+	archetypes := scenario.Archetypes()
+
+	type cell struct {
+		arch scenario.Archetype
+		seed uint64
+		spec *scenario.Spec
+		w    *workloads.Workload
+		m    *machine.Machine
+	}
+	var cells []cell
+	for _, a := range archetypes {
+		for i := 0; i < s.fleet(); i++ {
+			seed := s.Seed + uint64(i)
+			spec, err := scenario.Generate(a, seed)
+			if err != nil {
+				return nil, err
+			}
+			// Size the world to the suite's -ranks so the spec, its digest
+			// and the runs below all agree (cells run at opts.Ranks).
+			spec.Ranks = s.Ranks
+			// Compile once per scenario; the platform cells share the
+			// workload (runs never mutate it).
+			w, err := spec.Compile()
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range platforms {
+				cells = append(cells, cell{arch: a, seed: seed, spec: spec, w: w, m: m})
+			}
+		}
+	}
+
+	stats := make([]FleetStat, len(cells))
+	err := forEachRow(s.workers(), len(cells), func(i int) error {
+		c := cells[i]
+		w := c.w
+		fast, err := s.runStatic(w, c.m.FastTwin(), "fast-only", nil)
+		if err != nil {
+			return err
+		}
+		static, err := s.runTieredStatic(w, c.m)
+		if err != nil {
+			return err
+		}
+		xm, err := s.runXMem(w, c.m)
+		if err != nil {
+			return err
+		}
+		uni, col, err := s.runUnimem(w, c.m, s.unimemConfig(c.m))
+		if err != nil {
+			return err
+		}
+		stats[i] = FleetStat{
+			Archetype:       string(c.arch),
+			Scenario:        c.spec.Name,
+			Seed:            c.seed,
+			Platform:        c.m.Name,
+			FastestNS:       fast.TimeNS,
+			StaticNS:        static.TimeNS,
+			XMemNS:          xm.TimeNS,
+			UnimemNS:        uni.TimeNS,
+			SpeedupVsStatic: float64(static.TimeNS) / float64(uni.TimeNS),
+			Migrations:      uni.TotalMigrations(),
+			Decisions:       col.Decisions(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-scenario rows (deterministic cell order), then one aggregate row
+	// per archetype so CSV/rendered output carries the stats block too.
+	perArch := make(map[string][]FleetStat, len(archetypes))
+	for _, st := range stats {
+		fastNS := float64(st.FastestNS)
+		t.AddRow(st.Archetype, st.Scenario, st.Platform,
+			float64(st.StaticNS)/fastNS,
+			float64(st.XMemNS)/fastNS,
+			float64(st.UnimemNS)/fastNS,
+			st.SpeedupVsStatic,
+			st.Migrations, st.Decisions)
+		perArch[st.Archetype] = append(perArch[st.Archetype], st)
+	}
+	t.FleetStats = stats
+
+	var tails []string
+	for _, a := range archetypes {
+		agg := aggregateFleet(string(a), perArch[string(a)])
+		t.FleetAggregates = append(t.FleetAggregates, agg)
+		t.AddRow(agg.Archetype, "aggregate", fmt.Sprintf("n=%d", agg.N), "", "", "",
+			fmt.Sprintf("geo=%.3f min=%.3f max=%.3f", agg.Geomean, agg.Min, agg.Max),
+			fmt.Sprintf("wins=%d losses=%d ties=%d", agg.Wins, agg.Losses, agg.Ties), "")
+		if agg.Losses > 0 {
+			tails = append(tails, fmt.Sprintf("%s: worst %s (%.3fx)",
+				agg.Archetype, agg.Worst, agg.WorstSpeedup))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"times normalized to the fastest-tier-only twin; speedup = static time / Unimem time",
+		"static = hint-density tier fill from the spec's compile-time hints (stale under drift); X-Mem = one-shot offline profile into the fastest tier",
+		fmt.Sprintf("win/loss band: ±%.0f%%; scenarios are regenerated deterministically from seed %#x", fleetTieBand*100, s.Seed))
+	if len(tails) > 0 {
+		t.Notes = append(t.Notes, "tail scenarios (Unimem loses): "+strings.Join(tails, "; "))
+	}
+	return t, nil
+}
+
+// aggregateFleet folds one archetype's cells into its aggregate record.
+func aggregateFleet(arch string, cells []FleetStat) FleetAggregate {
+	agg := FleetAggregate{Archetype: arch, N: len(cells), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(cells) == 0 {
+		agg.Min, agg.Max = 0, 0
+		return agg
+	}
+	var logSum float64
+	for _, st := range cells {
+		sp := st.SpeedupVsStatic
+		logSum += math.Log(sp)
+		if sp < agg.Min {
+			agg.Min = sp
+			agg.Worst = st.Scenario + "@" + st.Platform
+			agg.WorstSpeedup = sp
+		}
+		if sp > agg.Max {
+			agg.Max = sp
+		}
+		switch {
+		case sp > 1+fleetTieBand:
+			agg.Wins++
+		case sp < 1-fleetTieBand:
+			agg.Losses++
+		default:
+			agg.Ties++
+		}
+	}
+	agg.Geomean = math.Exp(logSum / float64(len(cells)))
+	return agg
+}

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"unimem/internal/scenario"
+)
+
+// fleetSuite returns a quick suite with a small fleet (the shape
+// assertions hold at any sample size; 3 keeps the suite fast).
+func fleetSuite() *Suite {
+	s := quickSuite()
+	s.Fleet = 3
+	return s
+}
+
+// TestScenarioFleetShape checks the fleet experiment's structure and its
+// headline physics: every (archetype, scenario, platform) cell is present
+// with both platforms covered, at least one drift archetype's aggregate
+// shows Unimem beating the hint-density static placement, and the stable
+// control archetype stays within noise of it.
+func TestScenarioFleetShape(t *testing.T) {
+	s := fleetSuite()
+	tbl, err := s.ScenarioFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	archetypes := scenario.Archetypes()
+	nCells := len(archetypes) * s.Fleet * len(fleetPlatforms())
+	if len(tbl.FleetStats) != nCells {
+		t.Fatalf("fleet stats %d, want %d cells", len(tbl.FleetStats), nCells)
+	}
+	if len(tbl.Rows) != nCells+len(archetypes) {
+		t.Fatalf("table rows %d, want %d cells + %d aggregate rows",
+			len(tbl.Rows), nCells, len(archetypes))
+	}
+	if len(tbl.FleetAggregates) != len(archetypes) {
+		t.Fatalf("aggregates %d, want one per archetype", len(tbl.FleetAggregates))
+	}
+
+	platforms := map[string]bool{}
+	for _, st := range tbl.FleetStats {
+		platforms[st.Platform] = true
+		name := st.Scenario + "@" + st.Platform
+		if st.FastestNS <= 0 || st.StaticNS <= 0 || st.XMemNS <= 0 || st.UnimemNS <= 0 {
+			t.Fatalf("%s: non-positive time in %+v", name, st)
+		}
+		// The fastest-tier-only twin is the lower bound for every strategy.
+		if st.StaticNS < st.FastestNS || st.UnimemNS < st.FastestNS {
+			t.Errorf("%s: a placed run beat the fastest-only twin", name)
+		}
+		if got := float64(st.StaticNS) / float64(st.UnimemNS); got != st.SpeedupVsStatic {
+			t.Errorf("%s: speedup %v inconsistent with times", name, st.SpeedupVsStatic)
+		}
+		if st.Decisions < 1 {
+			t.Errorf("%s: Unimem took no placement decision", name)
+		}
+	}
+	if len(platforms) != len(fleetPlatforms()) {
+		t.Errorf("fleet covers %d platforms, want %d", len(platforms), len(fleetPlatforms()))
+	}
+
+	agg := map[string]FleetAggregate{}
+	for _, a := range tbl.FleetAggregates {
+		agg[a.Archetype] = a
+		if a.N != s.Fleet*len(fleetPlatforms()) {
+			t.Errorf("%s: aggregate over %d cells, want %d", a.Archetype, a.N, s.Fleet*len(fleetPlatforms()))
+		}
+		if a.Wins+a.Losses+a.Ties != a.N {
+			t.Errorf("%s: win/loss/tie counts %d+%d+%d != n=%d", a.Archetype, a.Wins, a.Losses, a.Ties, a.N)
+		}
+		if !(a.Min <= a.Geomean && a.Geomean <= a.Max) {
+			t.Errorf("%s: geomean %v outside [min %v, max %v]", a.Archetype, a.Geomean, a.Min, a.Max)
+		}
+		if a.Losses > 0 && a.Worst == "" {
+			t.Errorf("%s: losses recorded but no tail scenario named", a.Archetype)
+		}
+	}
+
+	// Headline: online adaptation must pay off on drifting workloads...
+	bestDrift := 0.0
+	for _, a := range archetypes {
+		if a.IsDrift() && agg[string(a)].Geomean > bestDrift {
+			bestDrift = agg[string(a)].Geomean
+		}
+	}
+	if bestDrift < 1.05 {
+		t.Errorf("no drift archetype shows Unimem beating static placement (best geomean %.3f, want >= 1.05)", bestDrift)
+	}
+	// ...and cost nothing but noise on the stable control.
+	stable := agg[string(scenario.ArchStable)]
+	if stable.Geomean < 0.93 || stable.Geomean > 1.07 {
+		t.Errorf("stable archetype geomean %.3f outside the noise band [0.93, 1.07]", stable.Geomean)
+	}
+}
+
+// TestScenarioFleetCacheKeysDistinct re-runs the fleet on one suite: the
+// second pass must be served from the cache (scenario regeneration is
+// deterministic and the spec digest keys match), and distinct scenarios
+// must have produced distinct entries.
+func TestScenarioFleetCacheKeysDistinct(t *testing.T) {
+	s := fleetSuite()
+	first, err := s.ScenarioFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := s.CacheStats()
+	// Three memoized strategies (fastest-only, static, xmem) per cell.
+	if want := len(first.FleetStats) * 3; mid.Entries != want {
+		t.Errorf("cache holds %d entries after the fleet, want %d (3 per cell)", mid.Entries, want)
+	}
+	if _, err := s.ScenarioFleet(); err != nil {
+		t.Fatal(err)
+	}
+	end := s.CacheStats()
+	if end.Misses != mid.Misses {
+		t.Errorf("second fleet executed %d fresh baseline runs, want 0", end.Misses-mid.Misses)
+	}
+}
+
+// TestScenarioFleetQuickPrep ensures Quick mode actually caps the
+// generated scenarios' iteration counts (the fleet would otherwise be the
+// slowest experiment in the registry).
+func TestScenarioFleetQuickPrep(t *testing.T) {
+	spec, err := scenario.Generate(scenario.ArchStable, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Iterations <= 12 {
+		t.Fatalf("generated scenario runs %d iterations; the Quick-cap premise is gone", w.Iterations)
+	}
+	if got := fleetSuite().prep(w); got.Iterations != 12 {
+		t.Errorf("prep capped to %d iterations, want 12", got.Iterations)
+	}
+	if got := fleetSuite().prep(w); got.SpecDigest != w.SpecDigest {
+		t.Error("prep dropped the spec digest")
+	}
+}
+
+// TestScenarioFleetRendersAggregates: the rendered table (and therefore
+// the CSV) must carry the aggregate stats block and the tail-scenario
+// note, not just the per-scenario rows.
+func TestScenarioFleetRendersAggregates(t *testing.T) {
+	tbl, err := fleetSuite().ScenarioFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"aggregate", "geo=", "wins="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered fleet table missing %q", want)
+		}
+	}
+}

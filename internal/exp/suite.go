@@ -28,6 +28,9 @@ type Suite struct {
 	// runs every cell serially. Table row/column order and cell values
 	// are identical at every width (see forEachRow and RunCache).
 	Workers int
+	// Fleet is the scenarios-per-archetype sample size of the
+	// scenariofleet experiment (<= 0: default 4).
+	Fleet int
 	// Cache memoizes baseline runs (DRAM-only, NVM-only, pinned-static,
 	// X-Mem) shared across experiments. Nil disables memoization.
 	Cache *RunCache
@@ -64,24 +67,25 @@ func Registry() ([]string, map[string]Runner) {
 	order := []string{
 		"table1", "calib", "table3", "fig2", "fig3", "fig4",
 		"fig9", "fig10", "fig11", "table4", "fig12", "fig13",
-		"ablation", "techsweep", "tierscape",
+		"ablation", "techsweep", "tierscape", "scenariofleet",
 	}
 	m := map[string]Runner{
-		"table1":    (*Suite).Table1,
-		"calib":     (*Suite).Calib,
-		"table3":    (*Suite).Table3,
-		"fig2":      (*Suite).Fig2,
-		"fig3":      (*Suite).Fig3,
-		"fig4":      (*Suite).Fig4,
-		"fig9":      (*Suite).Fig9,
-		"fig10":     (*Suite).Fig10,
-		"fig11":     (*Suite).Fig11,
-		"table4":    (*Suite).Table4,
-		"fig12":     (*Suite).Fig12,
-		"fig13":     (*Suite).Fig13,
-		"ablation":  (*Suite).Ablation,
-		"techsweep": (*Suite).TechSweep,
-		"tierscape": (*Suite).Tierscape,
+		"table1":        (*Suite).Table1,
+		"calib":         (*Suite).Calib,
+		"table3":        (*Suite).Table3,
+		"fig2":          (*Suite).Fig2,
+		"fig3":          (*Suite).Fig3,
+		"fig4":          (*Suite).Fig4,
+		"fig9":          (*Suite).Fig9,
+		"fig10":         (*Suite).Fig10,
+		"fig11":         (*Suite).Fig11,
+		"table4":        (*Suite).Table4,
+		"fig12":         (*Suite).Fig12,
+		"fig13":         (*Suite).Fig13,
+		"ablation":      (*Suite).Ablation,
+		"techsweep":     (*Suite).TechSweep,
+		"tierscape":     (*Suite).Tierscape,
+		"scenariofleet": (*Suite).ScenarioFleet,
 	}
 	return order, m
 }

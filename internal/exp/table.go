@@ -47,6 +47,12 @@ type Table struct {
 	// TierStats carry per-tier residency/migration detail for multi-tier
 	// experiments (tierscape); emitted in the JSON output only.
 	TierStats []TierStat `json:"tier_stats,omitempty"`
+	// FleetStats and FleetAggregates carry the scenario-fleet
+	// experiment's per-scenario cells and per-archetype aggregate block
+	// in machine-readable form (JSON output; the rendered table and CSV
+	// carry the same data as rows).
+	FleetStats      []FleetStat      `json:"fleet_stats,omitempty"`
+	FleetAggregates []FleetAggregate `json:"fleet_aggregates,omitempty"`
 }
 
 // TierStat is one tier's residency and migration record for one

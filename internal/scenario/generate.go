@@ -1,0 +1,323 @@
+package scenario
+
+import (
+	"fmt"
+
+	"unimem/internal/workloads"
+	"unimem/internal/xrand"
+)
+
+// Archetype names a family of synthetic scenarios the generator can
+// produce. The first three are *drift* archetypes whose ground-truth
+// traffic evolves across iterations — the regime where online re-profiling
+// should beat one-shot static tiering; the last three keep their hot set
+// fixed and stress other axes (rank imbalance, comm burstiness) or serve
+// as the control (stable).
+type Archetype string
+
+const (
+	// ArchPatternDrift: an object's access pattern migrates stream ->
+	// random over iterations, turning it latency-critical mid-run, while
+	// a stream-swept decoy with higher static hint density occupies the
+	// fast tier under hint-ranked placement.
+	ArchPatternDrift Archetype = "pattern-drift"
+	// ArchWSGrowth: AMR-style working-set evolution — one object's
+	// traffic grows through piecewise windows while the initially hot
+	// object fades.
+	ArchWSGrowth Archetype = "ws-growth"
+	// ArchHotRotation: a pool of equally sized work arrays through which
+	// a small hot set rotates every few iterations (Nek5000-style Krylov
+	// churn).
+	ArchHotRotation Archetype = "hot-rotation"
+	// ArchLoadImbalance: stationary traffic with a linear per-rank skew
+	// on the compute phases, so the critical path concentrates on the
+	// last rank.
+	ArchLoadImbalance Archetype = "load-imbalance"
+	// ArchBurstyComm: stationary compute traffic with scheduled
+	// communication-volume spikes (checkpoint/exchange bursts).
+	ArchBurstyComm Archetype = "bursty-comm"
+	// ArchStable: the control — iteration-invariant traffic with uniform
+	// patterns and accurate hints, where static placement is already
+	// near-optimal and Unimem should tie within noise.
+	ArchStable Archetype = "stable"
+)
+
+// Archetypes returns every generator archetype in presentation order.
+func Archetypes() []Archetype {
+	return []Archetype{
+		ArchPatternDrift, ArchWSGrowth, ArchHotRotation,
+		ArchLoadImbalance, ArchBurstyComm, ArchStable,
+	}
+}
+
+// IsDrift reports whether the archetype's ground-truth traffic varies
+// across iterations.
+func (a Archetype) IsDrift() bool {
+	switch a {
+	case ArchPatternDrift, ArchWSGrowth, ArchHotRotation:
+		return true
+	}
+	return false
+}
+
+// genIterations is the generated scenarios' iteration count; Quick-mode
+// experiments cap it (to 12), so drift events are placed early enough to
+// land inside a capped run as well.
+const genIterations = 36
+
+// mib converts mebibytes to bytes.
+func mib(n int64) int64 { return n << 20 }
+
+// gen carries the seeded stream the generator draws from.
+type gen struct {
+	rng *xrand.RNG
+}
+
+// between returns a deterministic draw in [lo, hi].
+func (g *gen) between(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// Generate builds one scenario of the given archetype, deterministically
+// from the seed: equal (archetype, seed) pairs produce identical specs.
+// Scenarios are sized for the repository's simulated platforms (256 MiB
+// fast tier per rank): the objects worth placing always exceed the fast
+// tier together, so placement has real tension.
+func Generate(a Archetype, seed uint64) (*Spec, error) {
+	g := &gen{rng: xrand.New(seed ^ archSalt(a))}
+	s := &Spec{
+		Name:          fmt.Sprintf("%s-%04x", a, seed&0xFFFF),
+		Class:         "synthetic",
+		Ranks:         4,
+		Iterations:    genIterations,
+		FootprintFrac: 1,
+	}
+	switch a {
+	case ArchStable:
+		g.stable(s, 0, 0)
+	case ArchLoadImbalance:
+		g.stable(s, 0.4+0.8*g.rng.Float64(), 0)
+	case ArchBurstyComm:
+		g.stable(s, 0, float64(g.between(8, 16)))
+	case ArchPatternDrift:
+		g.patternDrift(s)
+	case ArchWSGrowth:
+		g.wsGrowth(s)
+	case ArchHotRotation:
+		g.hotRotation(s)
+	default:
+		return nil, fmt.Errorf("scenario: unknown archetype %q", a)
+	}
+	setHints(s)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: generated %s: %w", s.Name, err)
+	}
+	return s, nil
+}
+
+// archSalt decorrelates the per-archetype random streams.
+func archSalt(a Archetype) uint64 {
+	var h uint64 = 0xA5C3
+	for _, c := range string(a) {
+		h = h*0x100000001B3 ^ uint64(c)
+	}
+	return h
+}
+
+// setHints installs the static reference-count estimates a compiler
+// analysis would derive before the main loop: the first iteration's
+// per-object access totals. For drifting scenarios these hints are
+// *accurately wrong* — faithful to the program text at loop entry and
+// stale the moment traffic evolves, which is precisely the failure mode of
+// offline/static placement the fleet experiment measures.
+func setHints(s *Spec) {
+	hints := make(map[string]float64)
+	for i := range s.Phases {
+		for _, r := range s.Phases[i].refsAt(0) {
+			hints[r.Object] += float64(r.Accesses)
+		}
+	}
+	for i := range s.Objects {
+		s.Objects[i].RefHint = hints[s.Objects[i].Name]
+	}
+}
+
+// scaffold appends the shared phase skeleton: aux stream objects, a halo
+// exchange with a pack buffer, and a closing reduction. mainRefs becomes
+// the "sweep" compute phase's reference list.
+func (g *gen) scaffold(s *Spec, mainRefs []RefSpec, rankSkew, commBurst float64) {
+	s.Objects = append(s.Objects,
+		ObjectSpec{Name: "aux_a", SizeBytes: mib(int64(g.between(8, 16)))},
+		ObjectSpec{Name: "aux_b", SizeBytes: mib(int64(g.between(8, 16)))},
+		ObjectSpec{Name: "halo_buf", SizeBytes: mib(8)},
+	)
+	// Aux sweeps run at 0.3 passes so their hint density stays below every
+	// deliberately hot object: the hint-density static ranking then orders
+	// the objects the generator means to be contended, not the scaffolding.
+	auxRef := func(name string) RefSpec {
+		o := findObject(s, name)
+		return RefSpec{Object: name, Accesses: o.SizeBytes / 64 * 3 / 10, ReadFrac: 0.5, Pattern: "stream"}
+	}
+	sweep := PhaseSpec{
+		Name:     "sweep",
+		Flops:    20e6,
+		RankSkew: rankSkew,
+		Refs:     append(mainRefs, auxRef("aux_a")),
+	}
+	exchange := PhaseSpec{
+		Name:      "exchange",
+		Comm:      "halo",
+		CommBytes: 512 << 10,
+		Refs:      []RefSpec{auxRef("halo_buf")},
+	}
+	if commBurst > 0 {
+		// Two or three scheduled spikes of a few iterations each.
+		n := g.between(2, 3)
+		from := g.between(4, 6)
+		for i := 0; i < n; i++ {
+			dur := g.between(2, 3)
+			exchange.CommSchedule = append(exchange.CommSchedule,
+				workloads.ScaleWindow{From: from, To: from + dur, Scale: commBurst})
+			from += dur + g.between(4, 7)
+		}
+	}
+	update := PhaseSpec{
+		Name:     "update",
+		Flops:    8e6,
+		RankSkew: rankSkew,
+		Refs:     []RefSpec{auxRef("aux_b")},
+	}
+	reduce := PhaseSpec{Name: "reduce", Comm: "allreduce", CommBytes: 8 << 10, Flops: 2e6}
+	s.Phases = append(s.Phases, sweep, exchange, update, reduce)
+}
+
+// findObject returns the named object spec (the generator only looks up
+// objects it just created).
+func findObject(s *Spec, name string) *ObjectSpec {
+	for i := range s.Objects {
+		if s.Objects[i].Name == name {
+			return &s.Objects[i]
+		}
+	}
+	panic("scenario: generator lookup of unknown object " + name)
+}
+
+// stable emits the stationary archetypes: 4-5 equally sized hot objects
+// with uniform pattern and read mix (so hint-density ranking equals
+// benefit ranking and static placement is near-optimal), optionally with
+// rank skew or comm bursts layered on. The hot set always exceeds the
+// 256 MiB fast tier, so placement still has tension.
+func (g *gen) stable(s *Spec, rankSkew, commBurst float64) {
+	n := g.between(4, 5)
+	var refs []RefSpec
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("field%d", i)
+		s.Objects = append(s.Objects, ObjectSpec{Name: name, SizeBytes: mib(72)})
+		acc := int64(1.6e6) - int64(i)*int64(250e3) - int64(g.rng.Intn(50_000))
+		refs = append(refs, RefSpec{Object: name, Accesses: acc, ReadFrac: 0.6, Pattern: "random"})
+	}
+	g.scaffold(s, refs, rankSkew, commBurst)
+}
+
+// patternDrift emits the stream->random pattern-migration archetype: a
+// stream-swept decoy tops the static hint-density ranking and a stably hot
+// random object rides along, while the drifter starts as a quiet stream
+// sweep (low hint density, so static leaves it in the slow tier) and
+// migrates to intensifying random access in two steps mid-run. Post-drift
+// the fast tier cannot hold both the decoy and the drifter, so a stale
+// placement keeps paying the drifter's latency-bound slow-tier cost.
+func (g *gen) patternDrift(s *Spec) {
+	d := g.between(4, 5)
+	decoySize := mib(int64(g.between(110, 140)))
+	drifterSize := mib(int64(g.between(96, 112)))
+	s.Objects = append(s.Objects,
+		ObjectSpec{Name: "decoy", SizeBytes: decoySize},
+		ObjectSpec{Name: "drifter", SizeBytes: drifterSize},
+		ObjectSpec{Name: "hotstable", SizeBytes: mib(64)},
+	)
+	refs := []RefSpec{
+		// One full pass: density 1 access/line, the top static rank.
+		{Object: "decoy", Accesses: decoySize / 64, ReadFrac: 0.7, Pattern: "stream"},
+		{Object: "drifter", Accesses: drifterSize / 64, ReadFrac: 0.6, Pattern: "stream",
+			Schedule: []RefWindow{
+				{From: 0, To: d, Scale: 0.3},
+				{From: d, To: 2 * d, Scale: 0.5, Pattern: "random"},
+				{From: 2 * d, Scale: 0.75, Pattern: "random"},
+			}},
+		{Object: "hotstable", Accesses: 800e3, ReadFrac: 0.6, Pattern: "random"},
+	}
+	g.scaffold(s, refs, 0, 0)
+}
+
+// wsGrowth emits the AMR-style working-set evolution: the grower's traffic
+// ramps up through piecewise windows while the initially hot shrinker
+// fades after the refinement point.
+func (g *gen) wsGrowth(s *Spec) {
+	a := g.between(3, 5)
+	b := g.between(6, 8)
+	growerSize := mib(int64(g.between(96, 120)))
+	shrinkerSize := mib(int64(g.between(96, 120)))
+	s.Objects = append(s.Objects,
+		ObjectSpec{Name: "grower", SizeBytes: growerSize},
+		ObjectSpec{Name: "shrinker", SizeBytes: shrinkerSize},
+		ObjectSpec{Name: "warm", SizeBytes: mib(64)},
+	)
+	refs := []RefSpec{
+		{Object: "grower", Accesses: 1.5e6, ReadFrac: 0.6, Pattern: "random",
+			Schedule: []RefWindow{
+				{From: 0, To: a, Scale: 0.05},
+				{From: a, To: b, Scale: 0.4},
+			}},
+		{Object: "shrinker", Accesses: 1.3e6, ReadFrac: 0.6, Pattern: "random",
+			Schedule: []RefWindow{
+				{From: b, Scale: 0.08},
+			}},
+		{Object: "warm", Accesses: 300e3, ReadFrac: 0.6, Pattern: "random"},
+	}
+	g.scaffold(s, refs, 0, 0)
+}
+
+// hotRotation emits the Krylov-churn archetype: w equally sized work
+// arrays; in rotation epoch k (p iterations each) the hot pair is
+// {-k mod w, -k+1 mod w} — the rotation runs *backwards* through the
+// array indices, so the object entering the hot set each epoch is the one
+// the hint ranking (and any stale placement) left in the slowest tier,
+// and every epoch boundary is a genuine placement cliff. Each array is
+// hot for two consecutive epochs and cold otherwise (expressed as merged
+// cold windows that silence it down to residual traffic).
+func (g *gen) hotRotation(s *Spec) {
+	w := g.between(4, 6)
+	p := 6
+	epochs := (genIterations + p - 1) / p
+	var refs []RefSpec
+	for j := 0; j < w; j++ {
+		name := fmt.Sprintf("work%d", j)
+		// 96 MiB each: the 256 MiB fast tier holds exactly the hot pair,
+		// so every rotation step forces a placement change.
+		s.Objects = append(s.Objects, ObjectSpec{Name: name, SizeBytes: mib(96)})
+		hot := func(k int) bool { m := (j + k) % w; return m == 0 || m == 1 }
+		var windows []RefWindow
+		for k := 0; k < epochs; k++ {
+			if hot(k) {
+				continue
+			}
+			from, to := k*p, (k+1)*p
+			if n := len(windows); n > 0 && windows[n-1].To == from {
+				windows[n-1].To = to // merge consecutive cold epochs
+			} else {
+				windows = append(windows, RefWindow{From: from, To: to, Scale: 0.04})
+			}
+		}
+		if n := len(windows); n > 0 && windows[n-1].To >= genIterations {
+			windows[n-1].To = 0 // open-ended tail
+		}
+		refs = append(refs, RefSpec{
+			Object: name, Accesses: 1.3e6, ReadFrac: 0.6, Pattern: "random",
+			Schedule: windows,
+		})
+	}
+	g.scaffold(s, refs, 0, 0)
+}

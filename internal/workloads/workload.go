@@ -77,6 +77,21 @@ func (k CommKind) String() string {
 	}
 }
 
+// ScaleWindow is one segment of a piecewise per-iteration schedule: for
+// iterations in [From, To) the scheduled quantity is multiplied by Scale.
+// To <= 0 means "until the end of the run". Windows are matched first-hit
+// in slice order; iterations outside every window use scale 1.
+type ScaleWindow struct {
+	From  int     `json:"from"`
+	To    int     `json:"to,omitempty"`
+	Scale float64 `json:"scale"`
+}
+
+// Contains reports whether the window covers the iteration.
+func (w ScaleWindow) Contains(iter int) bool {
+	return iter >= w.From && (w.To <= 0 || iter < w.To)
+}
+
 // Phase describes one phase of the iteration body.
 type Phase struct {
 	Name string
@@ -85,12 +100,40 @@ type Phase struct {
 	// phase (CommNone for computation phases).
 	Comm      CommKind
 	CommBytes int64
+	// CommSchedule optionally scales CommBytes per iteration (bursty
+	// communication); nil means the constant CommBytes every iteration.
+	CommSchedule []ScaleWindow
 	// Flops is the per-rank floating-point work of the phase.
 	Flops float64
+	// RankSkew imbalances the phase across ranks: rank r's traffic and
+	// compute are scaled by a linear ramp from 1-RankSkew/2 (rank 0) to
+	// 1+RankSkew/2 (last rank), mean 1 across the world. 0 is balanced;
+	// valid range is [0, 2).
+	RankSkew float64
 	// Refs returns the per-rank ground-truth main-memory traffic for
 	// the given iteration. Most workloads are iteration-invariant;
 	// Nek5000's pattern drift uses iter.
 	Refs func(iter int) []phase.Ref
+}
+
+// CommBytesAt returns the phase's communication volume for the given
+// iteration, applying the first matching CommSchedule window.
+func (p *Phase) CommBytesAt(iter int) int64 {
+	for _, w := range p.CommSchedule {
+		if w.Contains(iter) {
+			return int64(float64(p.CommBytes) * w.Scale)
+		}
+	}
+	return p.CommBytes
+}
+
+// RankScale returns the phase's load-imbalance factor for one rank of a
+// world of the given size.
+func (p *Phase) RankScale(rank, ranks int) float64 {
+	if p.RankSkew == 0 || ranks <= 1 {
+		return 1
+	}
+	return 1 + p.RankSkew*(float64(rank)/float64(ranks-1)-0.5)
 }
 
 // Workload is a phase-structured iterative MPI application.
@@ -106,6 +149,11 @@ type Workload struct {
 	// FootprintFrac is the fraction of total application memory footprint
 	// covered by the target objects (paper Table 3 last column).
 	FootprintFrac float64
+	// SpecDigest is a content hash of the declarative scenario spec this
+	// workload was compiled from (empty for workloads built in Go). The
+	// experiment run cache keys on it, so two scenarios that share a name
+	// but differ anywhere in their spec never share cached results.
+	SpecDigest string
 }
 
 // Object returns the spec with the given name, or nil.

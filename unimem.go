@@ -39,6 +39,7 @@ import (
 	"unimem/internal/machine"
 	"unimem/internal/model"
 	"unimem/internal/phase"
+	"unimem/internal/scenario"
 	"unimem/internal/workloads"
 	"unimem/internal/xmem"
 )
@@ -257,3 +258,48 @@ func Experiments() ([]string, map[string]func(*ExperimentSuite) (*Experiment, er
 // Ref describes one object's per-phase traffic when building custom
 // applications.
 type Ref = phase.Ref
+
+// WorkloadSpec is the declarative JSON description of a workload: objects,
+// phases, comm kinds, static hints, and piecewise per-iteration traffic
+// schedules. It round-trips every built-in workload exactly (see
+// SaveWorkload) and is the schema behind the scenario generator.
+type WorkloadSpec = scenario.Spec
+
+// ScenarioArchetype names a synthetic-scenario family of the generator.
+type ScenarioArchetype = scenario.Archetype
+
+// ScenarioArchetypes returns the generator's archetypes in presentation
+// order: pattern-drift, ws-growth, hot-rotation (time-varying traffic),
+// load-imbalance, bursty-comm, and the stable control.
+func ScenarioArchetypes() []ScenarioArchetype { return scenario.Archetypes() }
+
+// LoadWorkload reads, validates and compiles a declarative workload spec
+// from a JSON file; validation errors name the offending field. The
+// compiled workload carries a content digest of its spec, which the
+// experiment run cache keys on.
+func LoadWorkload(path string) (*Workload, error) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Compile()
+}
+
+// SaveWorkload captures a workload — built-in or hand-assembled — into
+// the declarative schema and writes it as JSON. The capture samples the
+// workload's ground-truth traffic across every iteration, so
+// Save -> Load -> Run is byte-identical to running the original.
+func SaveWorkload(w *Workload, path string) error {
+	spec, err := scenario.FromWorkload(w)
+	if err != nil {
+		return err
+	}
+	return spec.Save(path)
+}
+
+// GenerateScenario builds one synthetic scenario of the given archetype,
+// deterministically from the seed, and returns its spec (save it, inspect
+// it, or Compile it into a runnable workload).
+func GenerateScenario(a ScenarioArchetype, seed uint64) (*WorkloadSpec, error) {
+	return scenario.Generate(a, seed)
+}
