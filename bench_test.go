@@ -9,6 +9,8 @@
 package unimem_test
 
 import (
+	"context"
+
 	"strconv"
 	"strings"
 	"testing"
@@ -151,6 +153,40 @@ func BenchmarkMigrationPath(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSessionReuse quantifies the session satellite of the API
+// redesign: before PR 4, every Run/RunOpts call on a config without a
+// pre-installed Calibration re-measured the platform (once per rank, per
+// call). A Session memoizes the measurement, so repeated runs pay it
+// once. "recalibrate" reproduces the old per-call cost explicitly;
+// "session" is the new default path shared by the legacy wrappers.
+func BenchmarkSessionReuse(b *testing.B) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	app := unimem.NewApp("reuse", 1, 2)
+	app.Object("a", 32<<20, unimem.WithHint(1e5))
+	app.ComputePhase("sweep", 1e6, unimem.Stream("a", 1e5, 0.5))
+	app.CommPhase("sync", unimem.Barrier, 0, 0)
+	w := app.Build()
+	ctx := context.Background()
+
+	b.Run("recalibrate-every-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := unimem.DefaultConfig()
+			cfg.Calibration = unimem.Calibrate(m) // PR 1-3 behavior: per-call measurement
+			if _, _, err := unimem.Run(w, m, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session-reuse", func(b *testing.B) {
+		sess := unimem.New(m)
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Run(ctx, w, unimem.Unimem()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblation regenerates the model-refinement ablation (DESIGN.md

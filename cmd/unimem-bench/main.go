@@ -15,10 +15,17 @@
 //	unimem-bench -exp fig9,table4 -workers 8 -json results.json
 //	unimem-bench -exp table4 -csv out.csv
 //	unimem-bench -exp scenariofleet -quick -fleet 8 -parallel
+//	unimem-bench -exp all -parallel -timeout 10m
+//
+// -timeout bounds the whole run: on expiry, in-flight simulated worlds
+// abort, the partial cache statistics are printed to stderr, and the
+// process exits nonzero.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +68,7 @@ func main() {
 		workersN = flag.Int("workers", 0, "worker-pool width (overrides -parallel; 1 = serial)")
 		csv      = flag.String("csv", "", "also write results as CSV to this file")
 		jsonOut  = flag.String("json", "", "write results as JSON to this file ('-' for stdout, suppressing tables)")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0: no limit)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -81,6 +89,13 @@ func main() {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	s := exp.NewSuite()
 	s.Class = *class
 	s.Ranks = *ranks
@@ -88,6 +103,7 @@ func main() {
 	s.Quick = *quick
 	s.Fleet = *fleet
 	s.Workers = workers
+	s.Ctx = ctx
 
 	var ids []string
 	if *expID == "all" {
@@ -133,6 +149,12 @@ func main() {
 		expStart := time.Now()
 		t, err := reg[id](s)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				stats := s.CacheStats()
+				fmt.Fprintf(os.Stderr, "%s: timed out after %v (%v); partial cache: %d hits, %d misses (%d runs memoized)\n",
+					id, *timeout, err, stats.Hits, stats.Misses, stats.Entries)
+				os.Exit(3)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -121,7 +122,12 @@ func main() {
 		}
 	}
 
-	cal := unimem.Calibrate(m)
+	// One session serves every run below: the calibration is measured
+	// once, and the baseline runs memoize in the session's cache.
+	sess := unimem.New(m)
+	ctx := context.Background()
+
+	cal := sess.Calibration()
 	fmt.Printf("machine  %s  tiers:", m.Name)
 	for t := 0; t < m.NumTiers(); t++ {
 		ts := m.Tier(unimem.TierKind(t))
@@ -130,15 +136,15 @@ func main() {
 	}
 	fmt.Printf("\ncalib    %s\n\n", cal)
 
-	cfg := unimem.DefaultConfig()
-	cfg.Calibration = cal
-
-	fastRes, err := unimem.RunFastestOnly(w, m)
+	fastOut, err := sess.Run(ctx, w, unimem.FastestOnly())
 	check(err)
-	slowRes, err := unimem.RunNVMOnly(w, m)
+	fastRes := fastOut.Result
+	slowOut, err := sess.Run(ctx, w, unimem.SlowestOnly())
 	check(err)
-	res, rts, err := unimem.RunTiered(w, m, cfg)
+	slowRes := slowOut.Result
+	uniOut, err := sess.Run(ctx, w, unimem.Unimem())
 	check(err)
+	res, rts := uniOut.Tiered(), uniOut.Runtimes
 
 	norm := func(t int64) float64 { return float64(t) / float64(fastRes.TimeNS) }
 	fmt.Printf("%-14s %12s %8s\n", "run", "time", "vs fast")
@@ -146,7 +152,7 @@ func main() {
 	fmt.Printf("%-14s %12.1fms %8.2fx\n", "slowest-only", float64(slowRes.TimeNS)/1e6, norm(slowRes.TimeNS))
 	fmt.Printf("%-14s %12.1fms %8.2fx\n\n", "unimem", float64(res.TimeNS)/1e6, norm(res.TimeNS))
 
-	sort.Slice(rts, func(a, b int) bool { return rts[a].Rank() < rts[b].Rank() })
+	// Outcome.Runtimes arrive in rank order.
 	for _, rt := range rts {
 		rr := res.Ranks[rt.Rank()]
 		ms := rt.MoverStats()

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,16 +27,16 @@ func main() {
 	}
 	w := unimem.NewNPB("CG", "C", 4)
 
-	dram, err := unimem.RunDRAMOnly(w, m)
+	// All four systems of the evaluation through one session entry point.
+	sess := unimem.New(m)
+	outs, err := sess.RunAll(context.Background(), []unimem.Job{
+		{Workload: w, Strategy: unimem.DRAMOnly()},
+		{Workload: w, Strategy: unimem.SlowestOnly()},
+		{Workload: w, Strategy: unimem.XMem()},
+		{Workload: w, Strategy: unimem.Unimem()},
+	})
 	must(err)
-	nvm, err := unimem.RunNVMOnly(w, m)
-	must(err)
-	xm, err := unimem.RunXMem(w, m)
-	must(err)
-	cfg := unimem.DefaultConfig()
-	cfg.Calibration = unimem.Calibrate(m)
-	uni, rts, err := unimem.Run(w, m, cfg)
-	must(err)
+	dram, nvm, xm, uni := outs[0].Result, outs[1].Result, outs[2].Result, outs[3].Result
 
 	fmt.Printf("CG Class C, 4 ranks, NVM=%s (paper Figs. 9/10 row)\n\n", *nvmCfg)
 	norm := func(t int64) float64 { return float64(t) / float64(dram.TimeNS) }
@@ -49,7 +50,7 @@ func main() {
 		fmt.Printf("  %-10s %9.1fms  %.2fx\n", row.name, float64(row.t)/1e6, norm(row.t))
 	}
 
-	rt := rts[0]
+	rt := outs[3].Runtimes[0] // rank order: index 0 is rank 0
 	fmt.Printf("\ndecision internals (rank 0):\n")
 	for _, p := range rt.Candidates {
 		marker := " "

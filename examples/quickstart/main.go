@@ -1,11 +1,14 @@
 // Quickstart: describe a small iterative application with the public API,
-// run it on DRAM-only, NVM-only and Unimem-managed HMS configurations, and
-// print the normalized comparison plus the placement Unimem chose.
+// open a Session on the target machine, race the Unimem runtime against
+// the DRAM-only and NVM-only baselines with one strategy-parameterized
+// entry point, and print the normalized comparison plus the placement
+// Unimem chose.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,28 +36,31 @@ func main() {
 	app.CommPhase("residual", unimem.Allreduce, 64, 1e6)
 	w := app.Build()
 
-	dram, err := unimem.RunDRAMOnly(w, m)
+	// One session owns the calibration (measured once per platform) and a
+	// cache of baseline runs; every policy is a Strategy value on the
+	// same entry point.
+	sess := unimem.New(m)
+	ctx := context.Background()
+
+	dram, err := sess.Run(ctx, w, unimem.DRAMOnly())
 	must(err)
-	nvm, err := unimem.RunNVMOnly(w, m)
+	nvm, err := sess.Run(ctx, w, unimem.SlowestOnly())
+	must(err)
+	uni, err := sess.Run(ctx, w, unimem.Unimem())
 	must(err)
 
-	cfg := unimem.DefaultConfig()
-	cfg.Calibration = unimem.Calibrate(m) // once per platform
-	uni, rts, err := unimem.Run(w, m, cfg)
-	must(err)
-
-	norm := func(t int64) float64 { return float64(t) / float64(dram.TimeNS) }
+	norm := func(t int64) float64 { return float64(t) / float64(dram.Result.TimeNS) }
 	fmt.Printf("%-10s %10s  %s\n", "config", "time", "vs DRAM-only")
-	fmt.Printf("%-10s %8.1fms  %.2fx\n", "dram-only", float64(dram.TimeNS)/1e6, 1.0)
-	fmt.Printf("%-10s %8.1fms  %.2fx\n", "nvm-only", float64(nvm.TimeNS)/1e6, norm(nvm.TimeNS))
-	fmt.Printf("%-10s %8.1fms  %.2fx\n\n", "unimem", float64(uni.TimeNS)/1e6, norm(uni.TimeNS))
+	fmt.Printf("%-10s %8.1fms  %.2fx\n", "dram-only", float64(dram.Result.TimeNS)/1e6, 1.0)
+	fmt.Printf("%-10s %8.1fms  %.2fx\n", "nvm-only", float64(nvm.Result.TimeNS)/1e6, norm(nvm.Result.TimeNS))
+	fmt.Printf("%-10s %8.1fms  %.2fx\n\n", "unimem", float64(uni.Result.TimeNS)/1e6, norm(uni.Result.TimeNS))
 
-	rt := rts[0]
+	rt := uni.Runtimes[0] // rank order: index 0 is rank 0
 	fmt.Printf("strategy: %s\n", rt.Plan().Strategy)
 	fmt.Printf("rank 0 DRAM residents: %v\n", rt.DRAMResidents())
 	fmt.Printf("migrations: %d (%d MiB), helper-thread overlap %.0f%%\n",
-		uni.Ranks[0].Migrations.Migrations,
-		uni.Ranks[0].Migrations.BytesMigrated>>20,
+		uni.Result.Ranks[0].Migrations.Migrations,
+		uni.Result.Ranks[0].Migrations.BytesMigrated>>20,
 		rt.MoverStats().OverlapFrac()*100)
 }
 

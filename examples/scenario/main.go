@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -52,19 +53,19 @@ func main() {
 	fmt.Printf("loaded %s: %d objects, %d phases, %d iterations, %d MiB of target data\n\n",
 		path, len(w.Objects), len(w.Phases), w.Iterations, w.TotalObjectBytes()>>20)
 
-	// The paper's two-tier machine at its harshest NVM point.
+	// The paper's two-tier machine at its harshest NVM point. One session
+	// runs all four strategies as a batch across its worker pool; the
+	// outcomes come back in job order.
 	m := unimem.PlatformA().WithNVMLatencyFactor(4)
-	cfg := unimem.DefaultConfig()
-	cfg.Calibration = unimem.Calibrate(m)
-
-	fast, err := unimem.RunFastestOnly(w, m)
+	sess := unimem.New(m)
+	outs, err := sess.RunAll(context.Background(), []unimem.Job{
+		{Workload: w, Strategy: unimem.FastestOnly()},
+		{Workload: w, Strategy: unimem.SlowestOnly()},
+		{Workload: w, Strategy: unimem.XMem()},
+		{Workload: w, Strategy: unimem.Unimem()},
+	})
 	must(err)
-	slow, err := unimem.RunNVMOnly(w, m)
-	must(err)
-	xm, err := unimem.RunXMem(w, m)
-	must(err)
-	uni, rts, err := unimem.Run(w, m, cfg)
-	must(err)
+	fast, slow, xm, uni := outs[0].Result, outs[1].Result, outs[2].Result, outs[3].Result
 
 	norm := func(t int64) float64 { return float64(t) / float64(fast.TimeNS) }
 	fmt.Printf("%-12s %10s  %s\n", "config", "time", "vs DRAM-only")
@@ -73,16 +74,12 @@ func main() {
 	fmt.Printf("%-12s %8.1fms  %.2fx  (one-shot offline profile)\n", "x-mem", float64(xm.TimeNS)/1e6, norm(xm.TimeNS))
 	fmt.Printf("%-12s %8.1fms  %.2fx\n\n", "unimem", float64(uni.TimeNS)/1e6, norm(uni.TimeNS))
 
-	for _, rt := range rts {
-		if rt.Rank() != 0 {
-			continue
-		}
-		fmt.Printf("rank 0: %d decisions", rt.Decisions)
-		if len(rt.ReprofileIters) > 0 {
-			fmt.Printf(", re-profiled at iterations %v (the drift, detected)", rt.ReprofileIters)
-		}
-		fmt.Printf("\nrank 0 final DRAM residents: %v\n", rt.DRAMResidents())
+	rt := outs[3].Runtimes[0] // rank order: index 0 is rank 0
+	fmt.Printf("rank 0: %d decisions", rt.Decisions)
+	if len(rt.ReprofileIters) > 0 {
+		fmt.Printf(", re-profiled at iterations %v (the drift, detected)", rt.ReprofileIters)
 	}
+	fmt.Printf("\nrank 0 final DRAM residents: %v\n", rt.DRAMResidents())
 	fmt.Printf("migrations: %d (%d MiB moved)\n",
 		uni.TotalMigrations(), uni.TotalBytesMigrated()>>20)
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,14 +53,16 @@ func main() {
 	app.CommPhase("converged", unimem.Allreduce, 16, 1e6)
 	w := app.Build()
 
-	dram, err := unimem.RunDRAMOnly(w, m)
+	// One session, three strategies: the baselines memoize in the
+	// session's run cache and the platform is calibrated exactly once.
+	sess := unimem.New(m)
+	outs, err := sess.RunAll(context.Background(), []unimem.Job{
+		{Workload: w, Strategy: unimem.DRAMOnly()},
+		{Workload: w, Strategy: unimem.SlowestOnly()},
+		{Workload: w, Strategy: unimem.Unimem()},
+	})
 	must(err)
-	nvm, err := unimem.RunNVMOnly(w, m)
-	must(err)
-	cfg := unimem.DefaultConfig()
-	cfg.Calibration = unimem.Calibrate(m)
-	uni, rts, err := unimem.Run(w, m, cfg)
-	must(err)
+	dram, nvm, uni := outs[0].Result, outs[1].Result, outs[2].Result
 
 	fmt.Printf("2-D heat stencil, %d ranks, %d steps, %d MiB grids, DRAM %d MiB/node\n\n",
 		ranks, steps, gridMB, m.Fastest().CapacityBytes>>20)
@@ -70,9 +73,10 @@ func main() {
 
 	gap := float64(nvm.TimeNS - dram.TimeNS)
 	closed := float64(nvm.TimeNS-uni.TimeNS) / gap * 100
+	rt := outs[2].Runtimes[0] // rank order: index 0 is rank 0
 	fmt.Printf("Unimem closed %.0f%% of the NVM-only gap.\n", closed)
 	fmt.Printf("rank 0 placement (%s): %v\n",
-		rts[0].Plan().Strategy, rts[0].DRAMResidents())
+		rt.Plan().Strategy, rt.DRAMResidents())
 	fmt.Printf("per-phase mean times (ms): ")
 	for i, d := range uni.PhaseNS {
 		fmt.Printf("%s=%.1f ", w.Phases[i].Name, d/1e6)

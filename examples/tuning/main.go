@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,27 +18,29 @@ import (
 func main() {
 	base := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
 	w := unimem.NewNPB("SP", "C", 4)
+	ctx := context.Background()
 
-	dram, err := unimem.RunDRAMOnly(w, base)
+	sess := unimem.New(base)
+	dram, err := sess.Run(ctx, w, unimem.DRAMOnly())
 	must(err)
-	nvm, err := unimem.RunNVMOnly(w, base)
+	nvm, err := sess.Run(ctx, w, unimem.SlowestOnly())
 	must(err)
 	fmt.Printf("SP Class C, NVM = 1/2 DRAM bandwidth\n")
-	fmt.Printf("NVM-only gap: %.2fx of DRAM-only\n\n", ratio(nvm.TimeNS, dram.TimeNS))
+	fmt.Printf("NVM-only gap: %.2fx of DRAM-only\n\n", ratio(nvm.Result.TimeNS, dram.Result.TimeNS))
 	fmt.Printf("%8s %10s %12s %12s  %s\n",
 		"DRAM", "vs DRAM", "migrations", "moved MiB", "rank-0 residents")
 
+	// Each capacity point is a different machine, so it gets its own
+	// session: the platform is calibrated once per point, not once per run.
 	for _, mb := range []int64{96, 128, 192, 256, 384, 512} {
-		m := base.WithDRAMCapacity(mb << 20)
-		cfg := unimem.DefaultConfig()
-		cfg.Calibration = unimem.Calibrate(m)
-		res, rts, err := unimem.Run(w, m, cfg)
+		out, err := unimem.New(base.WithDRAMCapacity(mb<<20)).Run(ctx, w, unimem.Unimem())
 		must(err)
+		res := out.Result
 		fmt.Printf("%6dMB %9.2fx %12d %12d  %v\n",
-			mb, ratio(res.TimeNS, dram.TimeNS),
+			mb, ratio(res.TimeNS, dram.Result.TimeNS),
 			res.Ranks[0].Migrations.Migrations,
 			res.Ranks[0].Migrations.BytesMigrated>>20,
-			rts[0].DRAMResidents())
+			out.Runtimes[0].DRAMResidents())
 	}
 	fmt.Println("\nReading the sweep: once DRAM covers SP's hot set (lhs+rhs),")
 	fmt.Println("extra capacity buys little — the paper's Fig. 13 observation.")

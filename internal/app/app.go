@@ -13,6 +13,7 @@
 package app
 
 import (
+	"context"
 	"fmt"
 
 	"unimem/internal/counters"
@@ -133,8 +134,38 @@ func (r *Result) MaxOverheadFrac() float64 {
 
 // Run executes the workload on a fresh world under managers built by mf.
 func Run(w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFactory) (*Result, error) {
+	return RunCtx(context.Background(), w, m, opts, mf)
+}
+
+// RunCtx is Run bounded by a context: when ctx is cancelled mid-run the
+// simulated world is aborted (ranks parked in collectives or receives wake
+// immediately), every rank unwinds at its next phase boundary after
+// stopping its manager's helper thread, and RunCtx returns ctx's error.
+// Results of a cancelled run are never returned. A background context adds
+// no overhead beyond one atomic load per phase.
+func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFactory) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opts.fill(w)
 	world := mpisim.NewWorld(opts.Ranks, m)
+
+	// The watcher ferries a context cancellation into a world abort; runDone
+	// retires it on the normal path so background runs leak nothing.
+	if ctx.Done() != nil {
+		runDone := make(chan struct{})
+		defer close(runDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				world.Abort()
+			case <-runDone:
+			}
+		}()
+	}
 
 	// One set of tier coordination services per node (a NodeService per
 	// shared tier; the slowest tier stays per-rank private).
@@ -155,27 +186,36 @@ func Run(w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFact
 			MaterializeCap:   opts.MaterializeCap,
 			DefaultChunkSize: opts.ChunkSize,
 		})
-		ctx := &RankCtx{Rank: rank, Mach: m, Heap: heap, Comm: c, W: w}
+		rc := &RankCtx{Rank: rank, Mach: m, Heap: heap, Comm: c, W: w}
 		mgr := mf(rank)
 		if rank == 0 {
 			res.Manager = mgr.Name()
 		}
-		if err := mgr.Setup(ctx); err != nil {
+		if err := mgr.Setup(rc); err != nil {
 			errs[rank] = fmt.Errorf("rank %d setup: %w", rank, err)
 			return
 		}
-		mgr.LoopStart(ctx)
+		mgr.LoopStart(rc)
 		for iter := 0; iter < w.Iterations; iter++ {
 			for pi := range w.Phases {
+				// Ranks may notice the abort at different phases; that is
+				// safe because every communication primitive is non-blocking
+				// once the world is poisoned. LoopEnd still runs so the
+				// manager's helper thread terminates before we unwind.
+				if world.Aborted() {
+					errs[rank] = ctx.Err()
+					mgr.LoopEnd(rc)
+					return
+				}
 				ph := &w.Phases[pi]
-				mgr.PhaseBegin(ctx, ph.Name, ph.Kind, ph.Comm.String())
+				mgr.PhaseBegin(rc, ph.Name, ph.Kind, ph.Comm.String())
 
 				start := c.Clock()
 				refs := ph.Refs(iter)
 				if f := ph.RankScale(rank, opts.Ranks); f != 1 {
 					refs = scaleRefs(refs, f)
 				}
-				traffic, serviceNS := ExpandTraffic(ctx, refs)
+				traffic, serviceNS := ExpandTraffic(rc, refs)
 				c.Advance(int64(serviceNS))
 				execComm(c, ph, iter)
 				c.Advance(int64(m.ComputeTimeNS(ph.Flops * ph.RankScale(rank, opts.Ranks))))
@@ -185,10 +225,10 @@ func Run(w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFact
 					res.PhaseNS[pi] += dur
 					phaseCount[pi]++
 				}
-				mgr.PhaseEnd(ctx, dur, traffic)
+				mgr.PhaseEnd(rc, dur, traffic)
 			}
 		}
-		mgr.LoopEnd(ctx)
+		mgr.LoopEnd(rc)
 		res.Ranks[rank] = RankResult{
 			Rank:       rank,
 			TimeNS:     c.Clock(),
@@ -197,6 +237,9 @@ func Run(w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFact
 			Migrations: heap.StatsSnapshot(),
 		}
 	})
+	if world.Aborted() {
+		return nil, ctx.Err()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -36,7 +36,7 @@ func (s *Suite) Ablation() (*Table, error) {
 		{"Nek5000 @1/2 bw", workloads.NewNek5000("C", s.Ranks), machine.PlatformA().WithNVMBandwidthFraction(0.5)},
 	}
 	rows := make([][]interface{}, len(scenarios))
-	err := forEachRow(s.workers(), len(scenarios), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(scenarios), func(i int) error {
 		sc := scenarios[i]
 		dram, err := s.runStatic(sc.w, dramMachineFor(sc.m), "dram-only", nil)
 		if err != nil {

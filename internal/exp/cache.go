@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"strings"
 
 	"fmt"
@@ -64,6 +66,10 @@ func keyFor(w *workloads.Workload, m *machine.Machine, strategy string, opts app
 	}
 }
 
+// Fingerprint exposes the machine performance fingerprint to the public
+// Session layer (legacy-wrapper sessions key on it).
+func Fingerprint(m *machine.Machine) string { return machineFingerprint(m) }
+
 // machineFingerprint renders every Machine parameter that influences
 // simulated time or capacity, deliberately excluding the display Name. The
 // full ordered tier list is hashed — tier count included — so platforms
@@ -84,11 +90,11 @@ func machineFingerprint(m *machine.Machine) string {
 	return b.String()
 }
 
-// cacheEntry is one memoized run. The sync.Once gives singleflight
+// cacheEntry is one memoized run. The done channel gives singleflight
 // semantics: concurrent requests for the same key block on the first
 // executor instead of duplicating the run.
 type cacheEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  *app.Result
 	err  error
 }
@@ -99,7 +105,9 @@ type cacheEntry struct {
 //
 // Results are shared by pointer: callers must treat a returned *app.Result
 // as immutable. Errors are cached alongside results so a failing baseline
-// fails every dependent cell identically in serial and parallel runs.
+// fails every dependent cell identically in serial and parallel runs —
+// except context cancellation: a run aborted by its caller's context is
+// forgotten, never poisoning the key for callers with a live context.
 type RunCache struct {
 	mu      sync.Mutex
 	entries map[RunKey]*cacheEntry
@@ -113,32 +121,63 @@ func NewRunCache() *RunCache {
 	return &RunCache{entries: map[RunKey]*cacheEntry{}}
 }
 
+// isCtxErr reports whether err is a context cancellation or deadline —
+// the caller-induced failures that must not be memoized.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Do returns the memoized result for key, executing run exactly once per
 // key across all callers. A caller that arrives while another is executing
-// the same key blocks until that execution finishes and counts as a hit.
-func (c *RunCache) Do(key RunKey, run func() (*app.Result, error)) (*app.Result, error) {
+// the same key blocks until that execution finishes and counts as a hit,
+// or until its own context is cancelled. When the executing caller is
+// itself cancelled mid-run, the entry is dropped and the next caller with
+// a live context re-executes the run.
+func (c *RunCache) Do(ctx context.Context, key RunKey, run func() (*app.Result, error)) (*app.Result, error) {
 	if c == nil {
 		return run()
 	}
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &cacheEntry{}
-		c.entries[key] = e
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	c.mu.Unlock()
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &cacheEntry{done: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
 
-	executed := false
-	e.once.Do(func() {
-		executed = true
-		e.res, e.err = run()
-	})
-	if executed {
-		c.misses.Add(1)
-	} else {
+			e.res, e.err = run()
+			if isCtxErr(e.err) {
+				c.mu.Lock()
+				if c.entries[key] == e {
+					delete(c.entries, key)
+				}
+				c.mu.Unlock()
+			}
+			close(e.done)
+			c.misses.Add(1)
+			return e.res, e.err
+		}
+		c.mu.Unlock()
+
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if isCtxErr(e.err) {
+			// The executor was cancelled and the entry dropped; retry under
+			// our own context (which may itself be dead by now).
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		c.hits.Add(1)
+		return e.res, e.err
 	}
-	return e.res, e.err
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.

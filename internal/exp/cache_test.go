@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -23,18 +25,18 @@ func TestRunCacheHitMissAccounting(t *testing.T) {
 		calls.Add(1)
 		return &app.Result{TimeNS: 42}, nil
 	}
-	r1, err := c.Do(testKey("a"), run)
+	r1, err := c.Do(context.Background(), testKey("a"), run)
 	if err != nil || r1.TimeNS != 42 {
 		t.Fatalf("first Do: %v %v", r1, err)
 	}
-	r2, err := c.Do(testKey("a"), run)
+	r2, err := c.Do(context.Background(), testKey("a"), run)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1 != r2 {
 		t.Error("hit did not return the memoized *Result")
 	}
-	if _, err := c.Do(testKey("b"), run); err != nil {
+	if _, err := c.Do(context.Background(), testKey("b"), run); err != nil {
 		t.Fatal(err)
 	}
 	if got := calls.Load(); got != 2 {
@@ -55,7 +57,7 @@ func TestRunCacheCachesErrors(t *testing.T) {
 		return nil, boom
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := c.Do(testKey("bad"), run); err != boom {
+		if _, err := c.Do(context.Background(), testKey("bad"), run); err != boom {
 			t.Fatalf("call %d: err = %v, want boom", i, err)
 		}
 	}
@@ -78,7 +80,7 @@ func TestRunCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := c.Do(testKey("shared"), func() (*app.Result, error) {
+			r, err := c.Do(context.Background(), testKey("shared"), func() (*app.Result, error) {
 				calls.Add(1)
 				return res, nil
 			})
@@ -107,7 +109,7 @@ func TestRunCacheNilDisablesMemoization(t *testing.T) {
 	var c *RunCache
 	var calls atomic.Int64
 	for i := 0; i < 2; i++ {
-		if _, err := c.Do(testKey("x"), func() (*app.Result, error) {
+		if _, err := c.Do(context.Background(), testKey("x"), func() (*app.Result, error) {
 			calls.Add(1)
 			return &app.Result{}, nil
 		}); err != nil {

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unimem/internal/app"
+	"unimem/internal/core"
+	"unimem/internal/counters"
+	"unimem/internal/machine"
+	"unimem/internal/workloads"
+)
+
+// TestEngineStrategiesMatchLegacyHelpers: every strategy produces the
+// manager name and result its pre-engine Suite helper produced, and
+// baseline strategies land in the cache under their historical keys.
+func TestEngineStrategiesMatchLegacyHelpers(t *testing.T) {
+	e := NewEngine(true, NewRunCache())
+	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
+	w := workloads.NewCG("A", 2)
+	ctx := context.Background()
+	opts := app.Options{Ranks: 2, Seed: 1}
+
+	for _, tc := range []struct {
+		st      Strategy
+		manager string
+	}{
+		{StrategySlowestOnly(), "nvm-only"},
+		{StrategyDRAMOnly(), "dram-only"},
+		{StrategyFastestOnly(), "fast-only"},
+		{StrategyHintDensity(), "tiered-static"},
+		{StrategyXMem(), "xmem"},
+		{StrategyUnimem(), "unimem"},
+	} {
+		res, rts, err := e.Execute(ctx, w, m, tc.st, core.DefaultConfig(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.st.Name(), err)
+		}
+		if res.Manager != tc.manager {
+			t.Errorf("%s: manager %q, want %q", tc.st.Name(), res.Manager, tc.manager)
+		}
+		if tc.st.IsUnimem() != (rts != nil) {
+			t.Errorf("%s: runtimes presence mismatch (unimem=%v, rts=%d)", tc.st.Name(), tc.st.IsUnimem(), len(rts))
+		}
+	}
+	// Five cacheable strategies -> five entries; the Unimem run stays out
+	// of the cache (fresh runtimes per call).
+	if st := e.Stats(); st.Entries != 5 {
+		t.Errorf("cache holds %d entries, want 5", st.Entries)
+	}
+}
+
+// TestEngineCalibrationSharedAcrossTwins: physically identical machines
+// share one memoized calibration regardless of derivation chain.
+func TestEngineCalibrationSharedAcrossTwins(t *testing.T) {
+	e := NewEngine(false, nil)
+	a := machine.PlatformA().WithNVMBandwidthFraction(0.5).FastTwin()
+	b := machine.PlatformA().WithNVMLatencyFactor(4).WithNVMLatencyFactor(1).WithNVMBandwidthFraction(1)
+	ca := e.Calibration(a, counters.Default(), 7)
+	cb := e.Calibration(b, counters.Default(), 7)
+	if ca != cb {
+		t.Error("fingerprint-identical twins did not share a calibration")
+	}
+	if ca == e.Calibration(a, counters.Default(), 8) {
+		t.Error("different seeds must calibrate separately")
+	}
+}
+
+// TestRunCacheCancellationNotPoisoned: a Do whose run is aborted by
+// context cancellation must not memoize the failure — the next caller
+// with a live context re-executes and gets the real result.
+func TestRunCacheCancellationNotPoisoned(t *testing.T) {
+	c := NewRunCache()
+	key := testKey("cancellable")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Do(ctx, key, func() (*app.Result, error) {
+		return nil, ctx.Err()
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Do: err = %v", err)
+	}
+
+	res, err := c.Do(context.Background(), key, func() (*app.Result, error) {
+		return &app.Result{TimeNS: 9}, nil
+	})
+	if err != nil || res.TimeNS != 9 {
+		t.Fatalf("post-cancellation Do = %v, %v; cancellation poisoned the key", res, err)
+	}
+}
+
+// TestRunCacheWaiterHonorsOwnContext: a waiter blocked on another
+// caller's in-flight run gives up when its own context dies.
+func TestRunCacheWaiterHonorsOwnContext(t *testing.T) {
+	c := NewRunCache()
+	key := testKey("slow")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), key, func() (*app.Result, error) {
+			close(started)
+			<-release
+			return &app.Result{}, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Do(ctx, key, func() (*app.Result, error) {
+		t.Error("waiter executed the run")
+		return nil, nil
+	}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want deadline exceeded", err)
+	}
+	close(release)
+}
+
+// TestSuiteHonorsContext: a dead suite context aborts a whole experiment
+// runner with the context's error.
+func TestSuiteHonorsContext(t *testing.T) {
+	s := quickSuite()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Ctx = ctx
+	if _, err := s.Fig9(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig9 under dead context: err = %v", err)
+	}
+	// Fleet path too (generation happens before the pool; the pool must
+	// still refuse to run cells).
+	if _, err := s.ScenarioFleet(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScenarioFleet under dead context: err = %v", err)
+	}
+}
+
+// TestForEachRowContextCancel: the pool stops dispatching once the
+// context dies and reports the context error.
+func TestForEachRowContextCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := forEachRow(ctx, workers, 100, func(i int) error {
+			if i == 0 {
+				cancel()
+			}
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() == 100 {
+			t.Errorf("workers=%d: pool dispatched every cell after cancellation", workers)
+		}
+	}
+}

@@ -92,7 +92,7 @@ func (s *Suite) sweep(id, title, axis string, mk func(*machine.Machine, float64)
 	suite := workloads.EvalSuite("D", s.Ranks)
 	suite = suite[:len(suite)-1] // NPB only in Figs. 2/3
 	rows := make([][]interface{}, len(suite))
-	err := forEachRow(s.workers(), len(suite), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(suite), func(i int) error {
 		w := suite[i]
 		dram, err := s.runStatic(w, base, "dram-only", nil)
 		if err != nil {
@@ -168,7 +168,7 @@ func (s *Suite) Fig4() (*Table, error) {
 			cell{class, "4x lat", base.WithNVMLatencyFactor(4).WithDRAMCapacity(bigDRAM)})
 	}
 	rows := make([][]interface{}, len(cells))
-	err := forEachRow(s.workers(), len(cells), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(cells), func(i int) error {
 		c := cells[i]
 		w := workloads.NewSP(c.class, s.Ranks)
 		dram, err := s.runStatic(w, dramMachineFor(c.m), "dram-only", nil)
@@ -218,7 +218,7 @@ func (s *Suite) comparison(id, title string, m *machine.Machine) (*Table, error)
 	ws := s.evalSuite()
 	type compRow struct{ nvm, x, u float64 }
 	rows := make([]compRow, len(ws))
-	err := forEachRow(s.workers(), len(ws), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(ws), func(i int) error {
 		w := ws[i]
 		dram, err := s.runStatic(w, dm, "dram-only", nil)
 		if err != nil {
@@ -287,7 +287,7 @@ func (s *Suite) Fig11() (*Table, error) {
 	}
 	ws := s.evalSuite()
 	rows := make([][]interface{}, len(ws))
-	err := forEachRow(s.workers(), len(ws), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(ws), func(i int) error {
 		w := ws[i]
 		nvm, err := s.runStatic(w, m, "nvm-only", nil)
 		if err != nil {
@@ -342,7 +342,7 @@ func (s *Suite) Table4() (*Table, error) {
 	}
 	ws := s.evalSuite()
 	rows := make([][]interface{}, len(ws))
-	err := forEachRow(s.workers(), len(ws), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(ws), func(i int) error {
 		w := ws[i]
 		res, col, err := s.runUnimem(w, m, s.unimemConfig(m))
 		if err != nil {
@@ -386,7 +386,7 @@ func (s *Suite) Fig12() (*Table, error) {
 		scales = []int{4, 16}
 	}
 	rows := make([][]interface{}, len(scales))
-	err := forEachRow(s.workers(), len(scales), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(scales), func(i int) error {
 		p := scales[i]
 		w := workloads.NewCG("D", p)
 		opts := s.opts()
@@ -399,8 +399,7 @@ func (s *Suite) Fig12() (*Table, error) {
 		if err != nil {
 			return err
 		}
-		col := NewCollector()
-		uni, err := s.runWithFactory(w, m, opts, col.Factory(s.unimemConfig(m)))
+		uni, err := s.runUnimemWith(w, m, s.unimemConfig(m), opts)
 		if err != nil {
 			return err
 		}
@@ -427,7 +426,7 @@ func (s *Suite) Fig13() (*Table, error) {
 	base := machine.PlatformA().WithNVMBandwidthFraction(0.5)
 	ws := s.evalSuite()
 	rows := make([][]interface{}, len(ws))
-	err := forEachRow(s.workers(), len(ws), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(ws), func(i int) error {
 		w := ws[i]
 		dram, err := s.runStatic(w, dramMachineFor(base), "dram-only", nil)
 		if err != nil {

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"bytes"
 	"errors"
 	"sync/atomic"
@@ -10,7 +12,7 @@ import (
 func TestForEachRowOrderAndCoverage(t *testing.T) {
 	for _, workers := range []int{1, 4, 16} {
 		out := make([]int, 10)
-		err := forEachRow(workers, len(out), func(i int) error {
+		err := forEachRow(context.Background(), workers, len(out), func(i int) error {
 			out[i] = i * i
 			return nil
 		})
@@ -23,7 +25,7 @@ func TestForEachRowOrderAndCoverage(t *testing.T) {
 			}
 		}
 	}
-	if err := forEachRow(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+	if err := forEachRow(context.Background(), 4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -31,7 +33,7 @@ func TestForEachRowOrderAndCoverage(t *testing.T) {
 func TestForEachRowFirstErrorByIndex(t *testing.T) {
 	errA, errB := errors.New("a"), errors.New("b")
 	for _, workers := range []int{1, 4} {
-		err := forEachRow(workers, 8, func(i int) error {
+		err := forEachRow(context.Background(), workers, 8, func(i int) error {
 			switch i {
 			case 2:
 				return errA
@@ -49,7 +51,7 @@ func TestForEachRowFirstErrorByIndex(t *testing.T) {
 func TestForEachRowParallelRunsAll(t *testing.T) {
 	var ran atomic.Int64
 	boom := errors.New("boom")
-	err := forEachRow(4, 8, func(i int) error {
+	err := forEachRow(context.Background(), 4, 8, func(i int) error {
 		ran.Add(1)
 		if i == 0 {
 			return boom

@@ -1,6 +1,9 @@
 package exp
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // forEachRow executes fn(i) for every index in [0, n), fanning the calls
 // across at most workers goroutines. It is the experiment engine's cell
@@ -13,7 +16,15 @@ import "sync"
 // the first error aborts the remaining indices. With workers > 1 all
 // indices run and the first error in index order is returned, so the
 // reported failure is the same one a serial run would have surfaced.
-func forEachRow(workers, n int, fn func(i int) error) error {
+//
+// The context bounds the whole fan-out: once it is done no further cells
+// are dispatched, undispatched cells are recorded as cancelled, and the
+// context's error is returned unless an earlier index already failed —
+// again matching what a serial run would report.
+func forEachRow(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
 		return nil
 	}
@@ -22,6 +33,9 @@ func forEachRow(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -36,15 +50,33 @@ func forEachRow(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = fn(i)
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark every cell that will never be dispatched (no worker can
+			// touch indices the feeder has not sent).
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	// Every skipped cell carries the context error in its slot (set by the
+	// feeder or by the worker that drew it), so an all-nil scan means every
+	// cell genuinely ran and succeeded — return nil then even if the
+	// context died after the last dispatch, matching the serial path.
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -132,7 +132,7 @@ func (s *Suite) ScenarioFleet() (*Table, error) {
 	}
 
 	stats := make([]FleetStat, len(cells))
-	err := forEachRow(s.workers(), len(cells), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(cells), func(i int) error {
 		c := cells[i]
 		w := c.w
 		fast, err := s.runStatic(w, c.m.FastTwin(), "fast-only", nil)

@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"unimem/internal/app"
+	"unimem/internal/machine"
+	"unimem/internal/workloads"
+	"unimem/internal/xmem"
+)
+
+// Strategy is a first-class placement policy: the value a caller hands the
+// engine to say *how* a workload should be placed, unifying what used to
+// be six separate entry points. A Strategy bundles
+//
+//   - an optional machine derivation (the DRAM-only and fastest-only
+//     baselines run on undegraded twins of the target machine),
+//   - either a manager factory (static policies, X-Mem's offline
+//     profile-then-pin composite) or the full Unimem runtime, and
+//   - a cache key so deterministic baseline runs memoize in a RunCache.
+//
+// Strategy values are immutable and safe to share across goroutines.
+type Strategy struct {
+	name string
+	key  string
+	// mach derives the machine the run actually executes on (nil:
+	// identity).
+	mach func(*machine.Machine) *machine.Machine
+	// factory builds the per-rank manager factory; nil for the Unimem
+	// runtime, which the engine wires itself (calibration, collector).
+	// It runs inside the cache's singleflight, so composite policies
+	// (X-Mem's profile pass) memoize as one unit.
+	factory func(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts app.Options) (app.ManagerFactory, error)
+	unimem  bool
+}
+
+// Name returns the policy's display name (also the manager name recorded
+// in Result.Manager).
+func (s Strategy) Name() string { return s.name }
+
+// IsUnimem reports whether this is the full Unimem runtime policy.
+func (s Strategy) IsUnimem() bool { return s.unimem }
+
+// cacheKey is the strategy component of the RunKey.
+func (s Strategy) cacheKey() string { return s.key }
+
+// targetMachine applies the strategy's machine derivation.
+func (s Strategy) targetMachine(m *machine.Machine) *machine.Machine {
+	if s.mach == nil {
+		return m
+	}
+	return s.mach(m)
+}
+
+// valid reports whether the strategy can execute.
+func (s Strategy) valid() bool { return s.unimem || s.factory != nil }
+
+// staticStrategy wraps app.NewStaticFactory under the given name; objects
+// selected by inFastest go to the fastest tier, everything else to the
+// slowest (inFastest nil pins everything in the slowest tier).
+func staticStrategy(name string, inFastest func(string) bool) Strategy {
+	return Strategy{
+		name: name,
+		key:  "static:" + name,
+		factory: func(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts app.Options) (app.ManagerFactory, error) {
+			return app.NewStaticFactory(name, inFastest), nil
+		},
+	}
+}
+
+// StrategyUnimem returns the full Unimem runtime policy: online profiling,
+// Eq. 1-4 modeling, knapsack placement and helper-thread migration (the
+// multiple-choice knapsack on machines deeper than two tiers).
+func StrategyUnimem() Strategy {
+	return Strategy{name: "unimem", key: "unimem", unimem: true}
+}
+
+// StrategySlowestOnly pins every object in the slowest tier — the paper's
+// NVM-only comparison system.
+func StrategySlowestOnly() Strategy { return staticStrategy("nvm-only", nil) }
+
+// StrategyDRAMOnly runs on the undegraded twin of the target machine (NVM
+// tier configured to DRAM parity) — the baseline the paper's two-tier
+// results normalize against.
+func StrategyDRAMOnly() Strategy {
+	s := staticStrategy("dram-only", nil)
+	s.mach = func(m *machine.Machine) *machine.Machine {
+		return m.WithNVMLatencyFactor(1).WithNVMBandwidthFraction(1)
+	}
+	return s
+}
+
+// StrategyFastestOnly runs on the FastTwin of the target machine: every
+// tier at the hierarchy's component-wise best performance — the
+// upper-bound baseline multi-tier results normalize against (equivalent to
+// StrategyDRAMOnly on two-tier machines).
+func StrategyFastestOnly() Strategy {
+	s := staticStrategy("fast-only", nil)
+	s.mach = (*machine.Machine).FastTwin
+	return s
+}
+
+// StrategyStaticFunc is the escape hatch for arbitrary static placements:
+// objects selected by inFastest live in the fastest tier, the rest in the
+// slowest. The name keys the run cache, so distinct policies must carry
+// distinct names; user strategies live in their own cache namespace
+// ("staticfunc:") and can never collide with the built-in baselines even
+// when they reuse a built-in name.
+func StrategyStaticFunc(name string, inFastest func(object string) bool) Strategy {
+	s := staticStrategy(name, inFastest)
+	s.key = "staticfunc:" + name
+	return s
+}
+
+// StrategySuiteStatic is the experiment suite's internal static policy:
+// like StrategyStaticFunc but keyed in the historical "static:" cache
+// namespace the suite's baselines have always shared.
+func StrategySuiteStatic(name string, inFastest func(object string) bool) Strategy {
+	return staticStrategy(name, inFastest)
+}
+
+// StrategyHintDensity is the profile-free N-tier static baseline: objects
+// ranked by static reference-hint density fill the constrained tiers
+// fastest-first (see TieredStaticAssign), with no profiling run and no
+// migration.
+func StrategyHintDensity() Strategy {
+	return Strategy{
+		name: "tiered-static",
+		key:  "static:tiered-hint",
+		factory: func(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts app.Options) (app.ManagerFactory, error) {
+			return app.NewTieredStaticFactory("tiered-static", TieredStaticAssign(w, m)), nil
+		},
+	}
+}
+
+// StrategyXMem is the X-Mem baseline (Dulloor et al., EuroSys'16): an
+// offline whole-program profiling pass followed by one static hotness
+// placement for the entire run. Profile, placement and measured run
+// memoize as a single cache entry.
+func StrategyXMem() Strategy {
+	return Strategy{
+		name: "xmem",
+		key:  "xmem",
+		factory: func(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts app.Options) (app.ManagerFactory, error) {
+			prof, err := xmem.Profile(ctx, w, m, opts)
+			if err != nil {
+				return nil, err
+			}
+			return xmem.Factory(xmem.BuildPlacement(w, m, prof)), nil
+		},
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s Strategy) String() string { return fmt.Sprintf("Strategy(%s)", s.name) }

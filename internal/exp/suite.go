@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,10 +12,12 @@ import (
 	"unimem/internal/machine"
 	"unimem/internal/model"
 	"unimem/internal/workloads"
-	"unimem/internal/xmem"
 )
 
-// Suite carries the shared experiment configuration.
+// Suite carries the shared experiment configuration. Execution is
+// delegated to the shared Engine — the same one behind the library's
+// Session API — so every figure/table runner flows through one cached,
+// parallel, cancellable run path.
 type Suite struct {
 	// Class is the NPB class for the basic experiments (paper: C).
 	Class string
@@ -34,9 +37,13 @@ type Suite struct {
 	// Cache memoizes baseline runs (DRAM-only, NVM-only, pinned-static,
 	// X-Mem) shared across experiments. Nil disables memoization.
 	Cache *RunCache
+	// Ctx bounds every run the suite performs (nil: background). A
+	// cancelled or expired context aborts in-flight simulated worlds and
+	// makes the current runner return the context's error.
+	Ctx context.Context
 
-	mu    sync.Mutex
-	calib map[string]model.Calibration
+	mu  sync.Mutex
+	eng *Engine
 }
 
 // NewSuite returns a Suite with the paper's defaults.
@@ -44,7 +51,6 @@ func NewSuite() *Suite {
 	return &Suite{
 		Class: "C", Ranks: 4, Seed: 0xD07,
 		Cache: NewRunCache(),
-		calib: map[string]model.Calibration{},
 	}
 }
 
@@ -54,6 +60,27 @@ func (s *Suite) workers() int {
 		return s.Workers
 	}
 	return 1
+}
+
+// ctx returns the suite's bounding context.
+func (s *Suite) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+// engine returns the suite's Engine, synced with the suite's public
+// fields (tests and the CLI mutate Quick/Cache after NewSuite).
+func (s *Suite) engine() *Engine {
+	s.mu.Lock()
+	if s.eng == nil {
+		s.eng = NewEngine(s.Quick, s.Cache)
+	}
+	s.mu.Unlock()
+	s.eng.SetQuick(s.Quick)
+	s.eng.SetCache(s.Cache)
+	return s.eng
 }
 
 // CacheStats snapshots the run cache's hit/miss counters.
@@ -93,27 +120,12 @@ func Registry() ([]string, map[string]Runner) {
 // calibration memoizes the per-machine one-time calibration (the paper
 // computes CF_bw/CF_lat/BW_peak once per platform).
 func (s *Suite) calibration(m *machine.Machine) model.Calibration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.calib == nil {
-		s.calib = map[string]model.Calibration{}
-	}
-	if c, ok := s.calib[m.Name]; ok {
-		return c
-	}
-	c := model.Calibrate(m, counters.Default(), s.Seed^0xCA1)
-	s.calib[m.Name] = c
-	return c
+	return s.engine().Calibration(m, counters.Default(), s.Seed^0xCA1)
 }
 
 // prep applies Quick-mode iteration capping.
 func (s *Suite) prep(w *workloads.Workload) *workloads.Workload {
-	if s.Quick && w.Iterations > 12 {
-		cp := *w
-		cp.Iterations = 12
-		return &cp
-	}
-	return w
+	return s.engine().prep(w, s.Quick)
 }
 
 // unimemConfig builds the Unimem config for a machine with the shared
@@ -129,35 +141,23 @@ func (s *Suite) unimemConfig(m *machine.Machine) core.Config {
 // run cache: the DRAM-only / NVM-only / pinned baselines shared by many
 // experiments execute once per distinct (workload, machine, placement).
 func (s *Suite) runStatic(w *workloads.Workload, m *machine.Machine, name string, inDRAM func(string) bool) (*app.Result, error) {
-	w = s.prep(w)
-	opts := s.opts()
-	return s.Cache.Do(keyFor(w, m, "static:"+name, opts), func() (*app.Result, error) {
-		return app.Run(w, m, opts, app.NewStaticFactory(name, inDRAM))
-	})
+	res, _, err := s.engine().Execute(s.ctx(), w, m, StrategySuiteStatic(name, inDRAM), core.Config{}, s.opts())
+	return res, err
 }
 
 // runUnimem executes the workload under the full Unimem runtime and
 // returns the result plus the per-rank runtimes for introspection.
 func (s *Suite) runUnimem(w *workloads.Workload, m *machine.Machine, cfg core.Config) (*app.Result, *Collector, error) {
-	col := NewCollector()
-	res, err := app.Run(s.prep(w), m, s.opts(), col.Factory(cfg))
-	return res, col, err
+	res, rts, err := s.engine().Execute(s.ctx(), w, m, StrategyUnimem(), cfg, s.opts())
+	return res, &Collector{Runtimes: rts}, err
 }
 
 // runXMem executes the offline-profiling baseline: profile pass, static
 // placement, measured run. The whole composite (profile + placement +
 // measured run) is memoized as one cache entry.
 func (s *Suite) runXMem(w *workloads.Workload, m *machine.Machine) (*app.Result, error) {
-	pw := s.prep(w)
-	opts := s.opts()
-	return s.Cache.Do(keyFor(pw, m, "xmem", opts), func() (*app.Result, error) {
-		prof, err := xmem.Profile(pw, m, opts)
-		if err != nil {
-			return nil, err
-		}
-		set := xmem.BuildPlacement(w, m, prof)
-		return app.Run(pw, m, opts, xmem.Factory(set))
-	})
+	res, _, err := s.engine().Execute(s.ctx(), w, m, StrategyXMem(), core.Config{}, s.opts())
+	return res, err
 }
 
 func (s *Suite) opts() app.Options {
@@ -169,15 +169,15 @@ func (s *Suite) opts() app.Options {
 // the rank count per data point). Memoized like runStatic; the explicit
 // opts.Ranks is part of the key.
 func (s *Suite) runWith(w *workloads.Workload, m *machine.Machine, opts app.Options, name string) (*app.Result, error) {
-	w = s.prep(w)
-	return s.Cache.Do(keyFor(w, m, "static:"+name, opts), func() (*app.Result, error) {
-		return app.Run(w, m, opts, app.NewStaticFactory(name, nil))
-	})
+	res, _, err := s.engine().Execute(s.ctx(), w, m, StrategySuiteStatic(name, nil), core.Config{}, opts)
+	return res, err
 }
 
-// runWithFactory is runWith for arbitrary manager factories.
-func (s *Suite) runWithFactory(w *workloads.Workload, m *machine.Machine, opts app.Options, f app.ManagerFactory) (*app.Result, error) {
-	return app.Run(s.prep(w), m, opts, f)
+// runUnimemWith is runUnimem with explicit harness options (the
+// strong-scaling experiment overrides the rank count per data point).
+func (s *Suite) runUnimemWith(w *workloads.Workload, m *machine.Machine, cfg core.Config, opts app.Options) (*app.Result, error) {
+	res, _, err := s.engine().Execute(s.ctx(), w, m, StrategyUnimem(), cfg, opts)
+	return res, err
 }
 
 // Collector gathers the per-rank Unimem runtimes created by a factory so

@@ -29,7 +29,7 @@ func (s *Suite) TechSweep() (*Table, error) {
 	mg := workloads.NewMG(s.Class, s.Ranks)
 	techs := machine.Table1()[1:]
 	rows := make([][]interface{}, len(techs))
-	err := forEachRow(s.workers(), len(techs), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(techs), func(i int) error {
 		tech := techs[i]
 		m := machine.TechMachine(base, tech)
 		dm := dramMachineFor(m)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"unimem/internal/app"
+	"unimem/internal/core"
 	"unimem/internal/machine"
 	"unimem/internal/workloads"
 )
@@ -64,12 +65,8 @@ func TieredStaticAssign(w *workloads.Workload, m *machine.Machine) map[string]ma
 // runTieredStatic executes the workload under the hint-density static
 // placement, memoized in the run cache.
 func (s *Suite) runTieredStatic(w *workloads.Workload, m *machine.Machine) (*app.Result, error) {
-	pw := s.prep(w)
-	opts := s.opts()
-	return s.Cache.Do(keyFor(pw, m, "static:tiered-hint", opts), func() (*app.Result, error) {
-		assign := TieredStaticAssign(pw, m)
-		return app.Run(pw, m, opts, app.NewTieredStaticFactory("tiered-static", assign))
-	})
+	res, _, err := s.engine().Execute(s.ctx(), w, m, StrategyHintDensity(), core.Config{}, s.opts())
+	return res, err
 }
 
 // Tierscape evaluates the N-tier memory subsystem end to end: on each
@@ -104,7 +101,7 @@ func (s *Suite) Tierscape() (*Table, error) {
 	}
 	rows := make([][]interface{}, len(cells))
 	stats := make([][]TierStat, len(cells))
-	err := forEachRow(s.workers(), len(cells), func(i int) error {
+	err := forEachRow(s.ctx(), s.workers(), len(cells), func(i int) error {
 		c := cells[i]
 		fast, err := s.runStatic(c.w, c.m.FastTwin(), "fast-only", nil)
 		if err != nil {

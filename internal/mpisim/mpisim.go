@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"unimem/internal/machine"
 )
@@ -50,6 +51,12 @@ type World struct {
 	// sender goroutine for the eager sizes our workloads use.
 	mail [][]chan message
 	coll *collSync
+
+	// abortCh is closed by Abort; every blocking communication primitive
+	// selects on it so no rank stays parked after the world is torn down.
+	abortCh   chan struct{}
+	abortOnce sync.Once
+	aborted   atomic.Bool
 }
 
 // NewWorld creates a world of p ranks over the given machine.
@@ -64,8 +71,25 @@ func NewWorld(p int, m *machine.Machine) *World {
 			mail[s][d] = make(chan message, 1024)
 		}
 	}
-	return &World{P: p, Mach: m, mail: mail, coll: newCollSync(p)}
+	return &World{P: p, Mach: m, mail: mail, coll: newCollSync(p), abortCh: make(chan struct{})}
 }
+
+// Abort poisons the world: every blocked or future communication operation
+// returns immediately instead of waiting for peers, and Aborted reports
+// true. Rank bodies are expected to notice the flag at their next
+// decision point and unwind; results of an aborted run are meaningless and
+// must be discarded. Abort is idempotent and safe from any goroutine — it
+// is how a context cancellation reaches ranks parked inside collectives.
+func (w *World) Abort() {
+	w.abortOnce.Do(func() {
+		w.aborted.Store(true)
+		close(w.abortCh)
+		w.coll.abort()
+	})
+}
+
+// Aborted reports whether Abort has been called.
+func (w *World) Aborted() bool { return w.aborted.Load() }
 
 // Run spawns one goroutine per rank executing body and blocks until all
 // ranks return. Panics in rank bodies propagate after all ranks finish or
@@ -161,7 +185,10 @@ func (c *Comm) send(dst, tag int, bytes int64, data []byte) {
 	inject := int64(c.world.Mach.NetLatencyNS / 2)
 	c.clock += inject
 	c.CommNS += inject
-	c.world.mail[c.rank][dst] <- message{tag: tag, bytes: bytes, data: data, depart: c.clock}
+	select {
+	case c.world.mail[c.rank][dst] <- message{tag: tag, bytes: bytes, data: data, depart: c.clock}:
+	case <-c.world.abortCh:
+	}
 }
 
 // Recv blocks until a message with the tag arrives from src, synchronizes
@@ -188,12 +215,16 @@ func (c *Comm) recv(src, tag int) []byte {
 		}
 	}
 	for {
-		m := <-c.world.mail[src][c.rank]
-		if m.tag == tag {
-			c.completeRecv(m)
-			return m.data
+		select {
+		case m := <-c.world.mail[src][c.rank]:
+			if m.tag == tag {
+				c.completeRecv(m)
+				return m.data
+			}
+			c.pending[src] = append(c.pending[src], m)
+		case <-c.world.abortCh:
+			return nil
 		}
-		c.pending[src] = append(c.pending[src], m)
 	}
 }
 
@@ -255,6 +286,9 @@ type collSync struct {
 	gen   int
 	max   int64
 	prev  int64 // result of the last completed generation
+	// down is set by abort: arrive stops waiting for absent peers and
+	// returns the caller's own clock (the run's results are discarded).
+	down bool
 }
 
 func newCollSync(p int) *collSync {
@@ -268,6 +302,9 @@ func newCollSync(p int) *collSync {
 func (cs *collSync) arrive(clock int64) int64 {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	if cs.down {
+		return clock
+	}
 	gen := cs.gen
 	if clock > cs.max {
 		cs.max = clock
@@ -281,10 +318,21 @@ func (cs *collSync) arrive(clock int64) int64 {
 		cs.cond.Broadcast()
 		return cs.prev
 	}
-	for cs.gen == gen {
+	for cs.gen == gen && !cs.down {
 		cs.cond.Wait()
 	}
+	if cs.down {
+		return clock
+	}
 	return cs.prev
+}
+
+// abort wakes every waiter and makes all future rendezvous non-blocking.
+func (cs *collSync) abort() {
+	cs.mu.Lock()
+	cs.down = true
+	cs.cond.Broadcast()
+	cs.mu.Unlock()
 }
 
 // logP returns ceil(log2(P)), minimum 1.

@@ -15,6 +15,8 @@
 package xmem
 
 import (
+	"context"
+
 	"unimem/internal/app"
 	"unimem/internal/machine"
 	"unimem/internal/placement"
@@ -56,8 +58,9 @@ func Factory(set map[string]bool) app.ManagerFactory {
 // Profile runs the offline profiling pass (the PIN-based trace collection
 // of the original system) and returns rank 0's recorded profile. The run
 // happens on an NVM-only placement, matching how an offline profile is
-// collected before any tiering decision exists.
-func Profile(w *workloads.Workload, m *machine.Machine, opts app.Options) (*app.RecordedProfile, error) {
+// collected before any tiering decision exists. The context bounds the
+// profiling run like app.RunCtx.
+func Profile(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts app.Options) (*app.RecordedProfile, error) {
 	ranks := opts.Ranks
 	if ranks == 0 {
 		ranks = w.Ranks
@@ -71,7 +74,7 @@ func Profile(w *workloads.Workload, m *machine.Machine, opts app.Options) (*app.
 	// the application, which is the crux of its Nek5000 weakness.
 	wcopy := *w
 	wcopy.Iterations = 1
-	if _, err := app.Run(&wcopy, m, profOpts, app.NewRecorderFactory(profiles)); err != nil {
+	if _, err := app.RunCtx(ctx, &wcopy, m, profOpts, app.NewRecorderFactory(profiles)); err != nil {
 		return nil, err
 	}
 	return profiles[0], nil

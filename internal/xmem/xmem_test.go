@@ -1,6 +1,8 @@
 package xmem
 
 import (
+	"context"
+
 	"testing"
 
 	"unimem/internal/app"
@@ -11,7 +13,7 @@ import (
 func TestProfileRecordsOneIteration(t *testing.T) {
 	w := workloads.NewCG("C", 4)
 	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
-	prof, err := Profile(w, m, app.Options{Ranks: 4})
+	prof, err := Profile(context.Background(), w, m, app.Options{Ranks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +30,7 @@ func TestProfileRecordsOneIteration(t *testing.T) {
 func TestBuildPlacementPicksHotObjects(t *testing.T) {
 	w := workloads.NewCG("C", 4)
 	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
-	prof, err := Profile(w, m, app.Options{Ranks: 4})
+	prof, err := Profile(context.Background(), w, m, app.Options{Ranks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func TestBuildPlacementPicksHotObjects(t *testing.T) {
 func TestXMemBeatsNVMOnly(t *testing.T) {
 	w := workloads.NewCG("C", 4)
 	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
-	prof, err := Profile(w, m, app.Options{Ranks: 4})
+	prof, err := Profile(context.Background(), w, m, app.Options{Ranks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func TestXMemMissesDrift(t *testing.T) {
 	// must not contain late-appearing work arrays.
 	w := workloads.NewNek5000("C", 4)
 	m := machine.PlatformA().WithNVMBandwidthFraction(0.5)
-	prof, err := Profile(w, m, app.Options{Ranks: 4})
+	prof, err := Profile(context.Background(), w, m, app.Options{Ranks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

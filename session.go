@@ -1,0 +1,351 @@
+package unimem
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+
+	"unimem/internal/exp"
+)
+
+// Session is the stateful entry point of the library: one value that owns
+// everything repeated runs on a machine should share — the memoized
+// platform Calibration, a RunCache of deterministic baseline executions,
+// and a worker pool for batch APIs — and executes any Workload under any
+// Strategy with context cancellation plumbed down to the simulated ranks.
+//
+//	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+//	sess := unimem.New(m)
+//	base, err := sess.Run(ctx, w, unimem.SlowestOnly())
+//	uni, err := sess.Run(ctx, w, unimem.Unimem())
+//
+// A Session is safe for concurrent use by multiple goroutines: results
+// are deterministic per (workload, strategy, options) regardless of
+// interleaving, and concurrent requests for the same memoized baseline
+// execute it once (singleflight).
+type Session struct {
+	m       *Machine
+	cfg     Config
+	seed    uint64
+	workers int
+	eng     *exp.Engine
+}
+
+// RunCache memoizes deterministic runs by (workload and spec digest,
+// machine performance fingerprint, strategy, harness options). Share one
+// across sessions to share baselines; results are shared by pointer and
+// must be treated as immutable.
+type RunCache = exp.RunCache
+
+// NewRunCache returns an empty run cache.
+func NewRunCache() *RunCache { return exp.NewRunCache() }
+
+// CacheStats is a point-in-time snapshot of run-cache effectiveness.
+type CacheStats = exp.CacheStats
+
+// Option configures a Session at construction.
+type Option func(*Session)
+
+// WithConfig sets the Unimem runtime configuration used when a Job carries
+// none (default: DefaultConfig). Only the Unimem strategy consults it.
+func WithConfig(cfg Config) Option {
+	return func(s *Session) { s.cfg = cfg }
+}
+
+// WithWorkers sets the worker-pool width RunAll and Stream fan jobs
+// across (default: GOMAXPROCS; values below 1 run jobs serially).
+func WithWorkers(n int) Option {
+	return func(s *Session) {
+		if n < 1 {
+			n = 1
+		}
+		s.workers = n
+	}
+}
+
+// WithSeed sets the harness seed applied to jobs whose Options carry none
+// (default: the harness default seed, matching the legacy Run* behavior).
+func WithSeed(seed uint64) Option {
+	return func(s *Session) { s.seed = seed }
+}
+
+// WithQuick caps workload iteration counts (at 12) for fast, less
+// faithful runs — the same capping the experiment suite applies under
+// testing.B.
+func WithQuick() Option {
+	return func(s *Session) { s.eng.SetQuick(true) }
+}
+
+// WithCache installs the run cache (pass a shared cache to share memoized
+// baselines across sessions; pass nil to disable run memoization — the
+// calibration stays memoized either way).
+func WithCache(c *RunCache) Option {
+	return func(s *Session) { s.eng.SetCache(c) }
+}
+
+// New returns a Session bound to machine m. By default the session runs
+// with DefaultConfig, a fresh private RunCache, and a GOMAXPROCS-wide
+// worker pool.
+func New(m *Machine, opts ...Option) *Session {
+	if m == nil {
+		panic("unimem: New requires a machine")
+	}
+	s := &Session{
+		m:       m,
+		cfg:     DefaultConfig(),
+		workers: runtime.GOMAXPROCS(0),
+		eng:     exp.NewEngine(false, exp.NewRunCache()),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Machine returns the machine the session is bound to.
+func (s *Session) Machine() *Machine { return s.m }
+
+// Calibration returns the session's memoized one-time platform
+// measurement (§3.1.2), computing it on first use. Every Unimem run whose
+// Config carries no Calibration uses this value, so a session calibrates
+// its machine exactly once no matter how many runs it serves.
+func (s *Session) Calibration() Calibration {
+	return s.eng.Calibration(s.m, s.cfg.Counters, s.cfg.Seed^0xCA11B)
+}
+
+// CacheStats snapshots the session's run-cache hit/miss counters.
+func (s *Session) CacheStats() CacheStats { return s.eng.Stats() }
+
+// Job is one unit of batch work: a workload and the strategy to place it
+// under, with optional per-job overrides.
+type Job struct {
+	Workload *Workload
+	Strategy Strategy
+	// Config overrides the session's Unimem configuration for this job
+	// (nil: session default). Only the Unimem strategy consults it.
+	Config *Config
+	// Options overrides harness options; a zero Seed falls back to the
+	// session seed, a zero Ranks to the workload's world size.
+	Options Options
+}
+
+// Outcome is one job's result.
+type Outcome struct {
+	// Index is the job's position in the submitted batch (0 for Run).
+	Index int
+	// Job echoes the submitted job.
+	Job Job
+	// Result is the run outcome (nil when Err is set, or when a memoized
+	// baseline failed).
+	Result *Result
+	// Runtimes holds the per-rank Unimem runtimes in rank order for
+	// inspection; nil for non-Unimem strategies.
+	Runtimes []*Runtime
+	// Err is the job's error: a run failure, or the context's error when
+	// the job was cancelled or never dispatched.
+	Err error
+
+	mach *Machine
+}
+
+// Tiered annotates a Unimem outcome with rank 0's per-tier residency and
+// migration statistics. It returns nil when the outcome carries no
+// result or no runtimes (baseline strategies run no Unimem runtime, and
+// may execute on a derived twin of the session machine, so there is no
+// per-tier truth to report for them).
+func (o *Outcome) Tiered() *TieredResult {
+	if o == nil || o.Result == nil || o.Runtimes == nil {
+		return nil
+	}
+	tr := &TieredResult{Result: o.Result}
+	var resident []int64
+	for _, rt := range o.Runtimes {
+		if rt.Rank() == 0 {
+			resident = rt.TierResidencyBytes()
+			break
+		}
+	}
+	r0 := o.Result.Ranks[0]
+	for t := 0; t < o.mach.NumTiers(); t++ {
+		u := TierUsage{Tier: t, Name: o.mach.TierName(TierKind(t))}
+		if t < len(resident) {
+			u.ResidentBytes = resident[t]
+		}
+		if t < len(r0.Migrations.ToTier) {
+			u.MovesIn = r0.Migrations.ToTier[t]
+		}
+		tr.Tiers = append(tr.Tiers, u)
+	}
+	return tr
+}
+
+// do executes one job and shapes its outcome. It never panics on a
+// malformed job; the outcome carries the error instead so batch APIs stay
+// total.
+func (s *Session) do(ctx context.Context, idx int, job Job) Outcome {
+	o := Outcome{Index: idx, Job: job, mach: s.m}
+	if job.Workload == nil {
+		o.Err = errors.New("unimem: job has nil Workload")
+		return o
+	}
+	cfg := s.cfg
+	if job.Config != nil {
+		cfg = *job.Config
+	}
+	opts := job.Options
+	if opts.Seed == 0 {
+		opts.Seed = s.seed
+	}
+	o.Result, o.Runtimes, o.Err = s.eng.Execute(ctx, job.Workload, s.m, job.Strategy, cfg, opts)
+	return o
+}
+
+// Run executes workload w under the strategy, bounded by ctx. The outcome
+// is returned even on error (its Err field matches the returned error).
+func (s *Session) Run(ctx context.Context, w *Workload, st Strategy) (*Outcome, error) {
+	return s.RunJob(ctx, Job{Workload: w, Strategy: st})
+}
+
+// RunJob is Run with per-job configuration and harness options.
+func (s *Session) RunJob(ctx context.Context, job Job) (*Outcome, error) {
+	o := s.do(ctx, 0, job)
+	return &o, o.Err
+}
+
+// RunAll executes the jobs across the session's worker pool and returns
+// one outcome per job in job order, regardless of worker count or
+// completion interleaving. The returned error is the first job error in
+// index order (the same one a serial loop would surface), or the context
+// error if the batch was cancelled; outcomes of jobs that were never
+// dispatched carry the context error.
+func (s *Session) RunAll(ctx context.Context, jobs []Job) ([]Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outs := make([]Outcome, len(jobs))
+	ran := make([]bool, len(jobs))
+	perr := s.eng.ForEach(ctx, s.workers, len(jobs), func(i int) error {
+		outs[i] = s.do(ctx, i, jobs[i])
+		ran[i] = true
+		return nil
+	})
+	for i := range outs {
+		if !ran[i] {
+			outs[i] = Outcome{Index: i, Job: jobs[i], Err: perr, mach: s.m}
+		}
+	}
+	for i := range outs {
+		if outs[i].Err != nil {
+			return outs, outs[i].Err
+		}
+	}
+	return outs, perr
+}
+
+// Stream executes the jobs across the session's worker pool and delivers
+// exactly one outcome per job on the returned channel, in job order
+// (outcome i is sent before outcome i+1 even when job i+1 finishes
+// first); the channel is closed after the last outcome. The channel is
+// buffered for the whole batch, so the emitter never blocks on a slow or
+// departed consumer. When ctx is cancelled mid-fleet, in-flight simulated
+// worlds abort, the outcomes of cancelled and undispatched jobs carry the
+// context error, and the channel still closes promptly.
+func (s *Session) Stream(ctx context.Context, jobs []Job) <-chan Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(jobs)
+	out := make(chan Outcome, n)
+	results := make([]Outcome, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	poolDone := make(chan struct{})
+	go func() {
+		defer close(poolDone)
+		s.eng.ForEach(ctx, s.workers, n, func(i int) error {
+			results[i] = s.do(ctx, i, jobs[i])
+			close(ready[i])
+			return nil
+		})
+	}()
+	go func() {
+		defer close(out)
+		for i := 0; i < n; i++ {
+			select {
+			case <-ready[i]:
+			case <-poolDone:
+				// The pool stopped (cancellation) before dispatching job i.
+				select {
+				case <-ready[i]:
+				default:
+					results[i] = Outcome{Index: i, Job: jobs[i], Err: ctx.Err(), mach: s.m}
+				}
+			}
+			out <- results[i]
+		}
+	}()
+	return out
+}
+
+// defaultSessions backs the deprecated package-level Run* wrappers: one
+// session per distinct machine (performance fingerprint plus display
+// names), so repeated legacy calls on the same platform reuse its
+// calibration instead of re-measuring it every run. Run memoization is
+// disabled here — each legacy call still owns a fresh Result, exactly as
+// the free functions always behaved.
+var (
+	defaultMu       sync.Mutex
+	defaultSessions = map[string]*Session{}
+)
+
+// maxDefaultSessions bounds the per-machine default-session table: a
+// sweep over thousands of machine variants through the legacy wrappers
+// must not retain a session (and its calibration) per variant forever.
+// Variants past the cap get a fresh unretained session — exactly the
+// stateless per-call behavior the free functions always had.
+const maxDefaultSessions = 64
+
+func defaultSession(m *Machine) *Session {
+	var names []string
+	names = append(names, m.Name)
+	for _, t := range m.Tiers {
+		names = append(names, t.Name)
+	}
+	key := exp.Fingerprint(m) + "|" + strings.Join(names, "|")
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if s, ok := defaultSessions[key]; ok {
+		return s
+	}
+	s := New(m, WithCache(nil))
+	if len(defaultSessions) < maxDefaultSessions {
+		defaultSessions[key] = s
+	}
+	return s
+}
+
+// legacyRun shapes a session run into the deprecated free-function
+// signature.
+func (s *Session) legacyRun(w *Workload, st Strategy, cfg *Config, opts Options) (*Result, []*Runtime, error) {
+	o, err := s.RunJob(context.Background(), Job{Workload: w, Strategy: st, Config: cfg, Options: opts})
+	return o.Result, o.Runtimes, err
+}
+
+// legacyResult is legacyRun for baselines that return no runtimes.
+func (s *Session) legacyResult(w *Workload, st Strategy) (*Result, error) {
+	res, _, err := s.legacyRun(w, st, nil, Options{})
+	return res, err
+}
+
+// legacyTiered is legacyRun shaped for RunTiered.
+func (s *Session) legacyTiered(w *Workload, cfg *Config) (*TieredResult, []*Runtime, error) {
+	o, err := s.RunJob(context.Background(), Job{Workload: w, Strategy: Unimem(), Config: cfg})
+	if err != nil {
+		return nil, o.Runtimes, err
+	}
+	return o.Tiered(), o.Runtimes, nil
+}

@@ -1,0 +1,370 @@
+package unimem_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"unimem"
+)
+
+// goldenMachines returns the two platforms of the session golden matrix:
+// the paper's two-tier machine and the three-tier HBM+DDR+NVM stack.
+func goldenMachines() []*unimem.Machine {
+	return []*unimem.Machine{
+		unimem.PlatformA().WithNVMBandwidthFraction(0.5),
+		unimem.PlatformHBMDDRNVM(),
+	}
+}
+
+// TestSessionLegacyGoldenEquivalence pins the API redesign's core
+// contract: every deprecated Run* free function is a thin wrapper over a
+// Session, so a fresh explicit Session must produce byte-identical
+// Results for the matching Strategy — across CG/SP/MG on both the
+// two-tier and the three-tier platform.
+func TestSessionLegacyGoldenEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, m := range goldenMachines() {
+		sess := unimem.New(m)
+		for _, name := range []string{"CG", "SP", "MG"} {
+			w := unimem.NewNPB(name, "A", 2)
+
+			type variant struct {
+				label    string
+				legacy   func() (*unimem.Result, error)
+				strategy unimem.Strategy
+			}
+			variants := []variant{
+				{"nvm-only", func() (*unimem.Result, error) { return unimem.RunNVMOnly(w, m) }, unimem.SlowestOnly()},
+				{"dram-only", func() (*unimem.Result, error) { return unimem.RunDRAMOnly(w, m) }, unimem.DRAMOnly()},
+				{"fast-only", func() (*unimem.Result, error) { return unimem.RunFastestOnly(w, m) }, unimem.FastestOnly()},
+				{"xmem", func() (*unimem.Result, error) { return unimem.RunXMem(w, m) }, unimem.XMem()},
+				{"unimem", func() (*unimem.Result, error) {
+					res, _, err := unimem.Run(w, m, unimem.DefaultConfig())
+					return res, err
+				}, unimem.Unimem()},
+			}
+			for _, v := range variants {
+				want, err := v.legacy()
+				if err != nil {
+					t.Fatalf("%s/%s/%s legacy: %v", m.Name, name, v.label, err)
+				}
+				out, err := sess.Run(ctx, w, v.strategy)
+				if err != nil {
+					t.Fatalf("%s/%s/%s session: %v", m.Name, name, v.label, err)
+				}
+				if !reflect.DeepEqual(want, out.Result) {
+					t.Errorf("%s/%s/%s: session Result differs from legacy wrapper", m.Name, name, v.label)
+				}
+			}
+
+			// RunTiered vs Outcome.Tiered: the per-tier annotation must
+			// match field for field too.
+			wantTR, wantRts, err := unimem.RunTiered(w, m, unimem.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s/%s RunTiered: %v", m.Name, name, err)
+			}
+			out, err := sess.Run(ctx, w, unimem.Unimem())
+			if err != nil {
+				t.Fatalf("%s/%s session unimem: %v", m.Name, name, err)
+			}
+			gotTR := out.Tiered()
+			if !reflect.DeepEqual(wantTR, gotTR) {
+				t.Errorf("%s/%s: Tiered annotation differs from RunTiered", m.Name, name)
+			}
+			if len(wantRts) != len(out.Runtimes) {
+				t.Errorf("%s/%s: runtime counts differ (%d vs %d)", m.Name, name, len(wantRts), len(out.Runtimes))
+			}
+		}
+	}
+}
+
+// TestSessionRuntimesRankOrder pins the ordering improvement over the
+// legacy collector: outcome runtimes arrive sorted by rank.
+func TestSessionRuntimesRankOrder(t *testing.T) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	out, err := unimem.New(m).Run(context.Background(), unimem.NewNPB("CG", "A", 4), unimem.Unimem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runtimes) != 4 {
+		t.Fatalf("got %d runtimes, want 4", len(out.Runtimes))
+	}
+	for i, rt := range out.Runtimes {
+		if rt.Rank() != i {
+			t.Fatalf("runtime %d has rank %d; want rank order", i, rt.Rank())
+		}
+	}
+}
+
+// sessionJobs is the shared-session batch of the concurrency tests.
+func sessionJobs(w *unimem.Workload) []unimem.Job {
+	return []unimem.Job{
+		{Workload: w, Strategy: unimem.FastestOnly()},
+		{Workload: w, Strategy: unimem.SlowestOnly()},
+		{Workload: w, Strategy: unimem.XMem()},
+		{Workload: w, Strategy: unimem.Unimem()},
+	}
+}
+
+// times extracts the headline metric per outcome for cross-goroutine
+// comparison.
+func times(outs []unimem.Outcome) []int64 {
+	ts := make([]int64, len(outs))
+	for i, o := range outs {
+		ts[i] = o.Result.TimeNS
+	}
+	return ts
+}
+
+// TestSessionSharedConcurrently hammers one Session from 8 goroutines,
+// half via RunAll and half via Stream, sharing the run cache under -race.
+// Every goroutine must observe identical outcomes in deterministic job
+// order.
+func TestSessionSharedConcurrently(t *testing.T) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	sess := unimem.New(m, unimem.WithWorkers(2), unimem.WithQuick())
+	w := unimem.NewNPB("CG", "A", 2)
+	jobs := sessionJobs(w)
+	ctx := context.Background()
+
+	ref, err := sess.RunAll(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := times(ref)
+
+	var wg sync.WaitGroup
+	got := make([][]int64, 8)
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				outs, err := sess.RunAll(ctx, jobs)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				got[g] = times(outs)
+				return
+			}
+			for o := range sess.Stream(ctx, jobs) {
+				if o.Err != nil {
+					errs[g] = o.Err
+					return
+				}
+				if o.Index != len(got[g]) {
+					errs[g] = errors.New("stream emitted outcomes out of job order")
+					return
+				}
+				got[g] = append(got[g], o.Result.TimeNS)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(got[g], want) {
+			t.Errorf("goroutine %d observed %v, want %v (deterministic outcome order)", g, got[g], want)
+		}
+	}
+}
+
+// TestSessionStreamOrder pins Stream's ordering contract on a batch whose
+// jobs finish at very different speeds: outcome i is always delivered
+// before outcome i+1.
+func TestSessionStreamOrder(t *testing.T) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	sess := unimem.New(m, unimem.WithWorkers(4), unimem.WithQuick())
+	var jobs []unimem.Job
+	for _, name := range []string{"MG", "CG", "SP", "CG", "MG", "CG"} {
+		jobs = append(jobs, unimem.Job{Workload: unimem.NewNPB(name, "A", 2), Strategy: unimem.SlowestOnly()})
+	}
+	seen := 0
+	for o := range sess.Stream(context.Background(), jobs) {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", o.Index, o.Err)
+		}
+		if o.Index != seen {
+			t.Fatalf("outcome %d delivered at position %d", o.Index, seen)
+		}
+		seen++
+	}
+	if seen != len(jobs) {
+		t.Fatalf("stream delivered %d outcomes, want %d", seen, len(jobs))
+	}
+}
+
+// TestSessionRunAllCancelledUpfront: a dead context yields one outcome
+// per job, each carrying the context error, without executing anything.
+func TestSessionRunAllCancelledUpfront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess := unimem.New(unimem.PlatformA(), unimem.WithQuick())
+	jobs := sessionJobs(unimem.NewNPB("CG", "A", 2))
+	outs, err := sess.RunAll(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(outs) != len(jobs) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(jobs))
+	}
+	for i, o := range outs {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("outcome %d: Err = %v, want context.Canceled", i, o.Err)
+		}
+		if o.Index != i {
+			t.Errorf("outcome %d carries index %d", i, o.Index)
+		}
+	}
+}
+
+// TestSessionStreamCancelMidFleet cancels the context after the first
+// outcome of a long fleet: the in-flight simulated worlds must abort, the
+// remaining outcomes must carry the context error, and the channel must
+// close promptly.
+func TestSessionStreamCancelMidFleet(t *testing.T) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	sess := unimem.New(m, unimem.WithWorkers(2))
+	// Job 0 finishes fast and triggers the cancel; the rest are
+	// full-length Unimem runs (no Quick capping) that only a mid-run
+	// world abort can stop before the test deadline.
+	slow := unimem.NewNPB("CG", "C", 4)
+	cp := *slow
+	cp.Iterations = 4000
+	jobs := []unimem.Job{{Workload: unimem.NewNPB("CG", "A", 2), Strategy: unimem.SlowestOnly()}}
+	for i := 0; i < 7; i++ {
+		jobs = append(jobs, unimem.Job{Workload: &cp, Strategy: unimem.Unimem()})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	start := time.Now()
+	var outs []unimem.Outcome
+	for o := range sess.Stream(ctx, jobs) {
+		outs = append(outs, o)
+		if len(outs) == 1 {
+			cancel()
+		}
+	}
+	elapsed := time.Since(start)
+	if len(outs) > len(jobs) {
+		t.Fatalf("stream delivered %d outcomes for %d jobs", len(outs), len(jobs))
+	}
+	cancelled := 0
+	for _, o := range outs {
+		if errors.Is(o.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no outcome observed the cancellation; fleet did not stop mid-flight")
+	}
+	// Promptness: 8 x 4000-iteration Unimem runs on 2 workers take minutes
+	// uncancelled; the aborted fleet must come back well under that.
+	if elapsed > 90*time.Second {
+		t.Errorf("cancelled fleet took %v; worlds did not abort promptly", elapsed)
+	}
+}
+
+// TestSessionCalibrationMemoized: the session measures its platform once;
+// the value matches the package-level Calibrate path used by the lazy
+// runtime (same seed derivation), so pre-installing it keeps legacy
+// results byte-identical.
+func TestSessionCalibrationMemoized(t *testing.T) {
+	m := unimem.PlatformA().WithNVMLatencyFactor(4)
+	sess := unimem.New(m)
+	c1 := sess.Calibration()
+	c2 := sess.Calibration()
+	if c1 != c2 {
+		t.Error("repeated Calibration calls disagree; memoization broken")
+	}
+	if c1 == (unimem.Calibration{}) {
+		t.Error("calibration is zero")
+	}
+}
+
+// TestSessionCacheStats: baseline runs memoize inside one session; a
+// repeated baseline is served from cache while Unimem runs stay fresh.
+func TestSessionCacheStats(t *testing.T) {
+	sess := unimem.New(unimem.PlatformA().WithNVMBandwidthFraction(0.5), unimem.WithQuick())
+	w := unimem.NewNPB("CG", "A", 2)
+	ctx := context.Background()
+	if _, err := sess.Run(ctx, w, unimem.SlowestOnly()); err != nil {
+		t.Fatal(err)
+	}
+	first := sess.CacheStats()
+	if first.Misses == 0 {
+		t.Fatal("first baseline did not execute")
+	}
+	if _, err := sess.Run(ctx, w, unimem.SlowestOnly()); err != nil {
+		t.Fatal(err)
+	}
+	second := sess.CacheStats()
+	if second.Misses != first.Misses {
+		t.Error("repeated baseline re-executed instead of hitting the cache")
+	}
+	if second.Hits <= first.Hits {
+		t.Error("repeated baseline recorded no cache hit")
+	}
+}
+
+// TestSessionNilWorkloadJob: batch APIs stay total on malformed jobs.
+func TestSessionNilWorkloadJob(t *testing.T) {
+	sess := unimem.New(unimem.PlatformA(), unimem.WithQuick())
+	outs, err := sess.RunAll(context.Background(), []unimem.Job{{Strategy: unimem.SlowestOnly()}})
+	if err == nil || outs[0].Err == nil {
+		t.Fatal("nil-workload job did not error")
+	}
+}
+
+// TestSessionStaticFuncNamespace: a user StaticFunc reusing a built-in
+// baseline name must not collide with that baseline's cache entry — the
+// two policies place data oppositely here, so their times must differ.
+func TestSessionStaticFuncNamespace(t *testing.T) {
+	sess := unimem.New(unimem.PlatformA().WithNVMBandwidthFraction(0.5).WithDRAMCapacity(1<<30), unimem.WithQuick())
+	w := unimem.NewNPB("CG", "A", 2)
+	ctx := context.Background()
+	slow, err := sess.Run(ctx, w, unimem.SlowestOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := sess.Run(ctx, w, unimem.StaticFunc("nvm-only", func(string) bool { return true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Result.TimeNS >= slow.Result.TimeNS {
+		t.Fatalf("pin-everything-fastest (%d) not faster than slowest-only (%d); cache key collision?",
+			pinned.Result.TimeNS, slow.Result.TimeNS)
+	}
+}
+
+// TestSessionTieredNilForBaselines: Tiered annotates Unimem outcomes
+// only; baseline outcomes (no runtimes, possibly a derived twin machine)
+// return nil instead of fabricated all-zero residency.
+func TestSessionTieredNilForBaselines(t *testing.T) {
+	sess := unimem.New(unimem.PlatformHBMDDRNVM(), unimem.WithQuick())
+	out, err := sess.Run(context.Background(), unimem.NewNPB("CG", "A", 2), unimem.FastestOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tiered() != nil {
+		t.Fatal("baseline outcome produced a Tiered annotation")
+	}
+}
+
+// TestSessionZeroStrategy: the zero Strategy value is rejected, not run.
+func TestSessionZeroStrategy(t *testing.T) {
+	sess := unimem.New(unimem.PlatformA(), unimem.WithQuick())
+	var zero unimem.Strategy
+	if _, err := sess.Run(context.Background(), unimem.NewNPB("CG", "A", 2), zero); err == nil {
+		t.Fatal("zero strategy did not error")
+	}
+}

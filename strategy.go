@@ -1,0 +1,59 @@
+package unimem
+
+import "unimem/internal/exp"
+
+// Strategy is a first-class placement policy, the value a Session executes
+// a workload under. One strategy type replaces the historical zoo of
+// Run* free functions: the same Session races the Unimem runtime against
+// any baseline by swapping the strategy argument.
+//
+//	sess := unimem.New(m)
+//	base, _ := sess.Run(ctx, w, unimem.SlowestOnly())
+//	uni, _ := sess.Run(ctx, w, unimem.Unimem())
+//
+// Strategy values are immutable and safe to share across goroutines and
+// sessions.
+type Strategy = exp.Strategy
+
+// Unimem returns the full Unimem runtime strategy: online counter-based
+// profiling, Eq. 1-4 performance modeling, knapsack placement via the
+// phase-local and cross-phase global searches, and proactive helper-thread
+// migration (the multiple-choice knapsack on machines deeper than two
+// tiers). Outcomes of this strategy carry the per-rank Runtimes for
+// inspection.
+func Unimem() Strategy { return exp.StrategyUnimem() }
+
+// FastestOnly returns the upper-bound baseline: the workload runs on the
+// FastTwin of the session machine, every tier at the hierarchy's
+// component-wise best performance. Equivalent to DRAMOnly on two-tier
+// machines.
+func FastestOnly() Strategy { return exp.StrategyFastestOnly() }
+
+// SlowestOnly returns the lower-bound baseline: every object pinned in the
+// slowest tier — the NVM-only system of the paper's comparisons.
+func SlowestOnly() Strategy { return exp.StrategySlowestOnly() }
+
+// DRAMOnly returns the paper's DRAM-only baseline: the workload runs on
+// the undegraded twin of the session machine (NVM tier configured to DRAM
+// parity).
+func DRAMOnly() Strategy { return exp.StrategyDRAMOnly() }
+
+// StaticHintDensity returns the profile-free static baseline: objects
+// ranked by static reference-hint density (RefHint/size) fill the
+// constrained tiers fastest-first; hintless objects and overflow land in
+// the slowest tier. No profiling run, no migration — the "numactl-style"
+// placement the scenario-fleet experiment races Unimem against.
+func StaticHintDensity() Strategy { return exp.StrategyHintDensity() }
+
+// XMem returns the X-Mem baseline (Dulloor et al., EuroSys 2016): an
+// offline whole-program profiling pass followed by one static hotness
+// placement for the entire run.
+func XMem() Strategy { return exp.StrategyXMem() }
+
+// StaticFunc is the escape hatch for custom static placements: objects
+// selected by inFastest live in the fastest tier, everything else in the
+// slowest. The name labels the run's manager and keys the session's run
+// cache, so distinct placement functions must carry distinct names.
+func StaticFunc(name string, inFastest func(object string) bool) Strategy {
+	return exp.StrategyStaticFunc(name, inFastest)
+}

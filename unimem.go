@@ -11,13 +11,16 @@
 // with the simulated substrate it manages: an N-tier memory hierarchy
 // with real byte backing (the paper's two-tier DRAM+NVM system as the
 // degenerate case, plus HBM/DDR/CXL/NVM presets placed by a
-// multiple-choice knapsack — see RunTiered), an MPI-like world of
-// goroutine ranks with virtual clocks, emulated sampling performance
-// counters, the NPB/Nek5000 evaluation workloads, the X-Mem baseline, and
-// a harness that regenerates every table and figure of the paper's
-// evaluation.
+// multiple-choice knapsack), an MPI-like world of goroutine ranks with
+// virtual clocks, emulated sampling performance counters, the NPB/Nek5000
+// evaluation workloads, the X-Mem baseline, and a harness that
+// regenerates every table and figure of the paper's evaluation.
 //
 // # Quick start
+//
+// The entry point is a Session: a stateful, concurrent-safe handle bound
+// to one machine that calibrates the platform once, memoizes baseline
+// runs, and executes any workload under any placement Strategy:
 //
 //	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
 //	app := unimem.NewApp("myapp", 4, 50)
@@ -26,7 +29,24 @@
 //	app.CommPhase("sum", unimem.Allreduce, 8, 1e6)
 //	w := app.Build()
 //
-//	res, rts, err := unimem.Run(w, m, unimem.DefaultConfig())
+//	sess := unimem.New(m)
+//	ctx := context.Background()
+//	base, err := sess.Run(ctx, w, unimem.SlowestOnly())
+//	uni, err := sess.Run(ctx, w, unimem.Unimem())
+//	fmt.Println(float64(base.Result.TimeNS) / float64(uni.Result.TimeNS))
+//
+// Batches fan across the session's worker pool with deterministic result
+// order, and the context cancels mid-fleet:
+//
+//	outs, err := sess.RunAll(ctx, []unimem.Job{
+//		{Workload: w, Strategy: unimem.XMem()},
+//		{Workload: w, Strategy: unimem.Unimem()},
+//	})
+//	for out := range sess.Stream(ctx, jobs) { ... }
+//
+// The free functions Run, RunTiered, RunDRAMOnly, RunNVMOnly,
+// RunFastestOnly and RunXMem predate the Session API; they remain as
+// deprecated wrappers over a shared per-machine default session.
 //
 // See the examples directory for complete programs and cmd/unimem-bench
 // for the paper's experiments.
@@ -41,7 +61,6 @@ import (
 	"unimem/internal/phase"
 	"unimem/internal/scenario"
 	"unimem/internal/workloads"
-	"unimem/internal/xmem"
 )
 
 // Machine describes the simulated platform (tiers, CPU, network).
@@ -114,38 +133,54 @@ type Result = app.Result
 type Options = app.Options
 
 // Run executes the workload on machine m under the Unimem runtime and
-// returns the result together with the per-rank runtimes for inspection.
+// returns the result together with the per-rank runtimes (in rank order)
+// for inspection. Repeated calls on the same machine share one default
+// session, so the platform is calibrated once, not per call.
+//
+// Deprecated: Use Session.Run with the Unimem Strategy, which adds
+// context cancellation, run memoization and batch execution:
+// unimem.New(m).Run(ctx, w, unimem.Unimem()).
 func Run(w *Workload, m *Machine, cfg Config) (*Result, []*Runtime, error) {
 	return RunOpts(w, m, cfg, Options{})
 }
 
 // RunOpts is Run with explicit harness options.
+//
+// Deprecated: Use Session.RunJob with a Job carrying the Options:
+// unimem.New(m).RunJob(ctx, unimem.Job{Workload: w, Strategy:
+// unimem.Unimem(), Config: &cfg, Options: opts}).
 func RunOpts(w *Workload, m *Machine, cfg Config, opts Options) (*Result, []*Runtime, error) {
-	col := exp.NewCollector()
-	res, err := app.Run(w, m, opts, col.Factory(cfg))
-	return res, col.Runtimes, err
+	return defaultSession(m).legacyRun(w, Unimem(), &cfg, opts)
 }
 
 // RunNVMOnly executes the workload with every object pinned in the slowest
 // tier — the NVM-only system of the paper's comparisons.
+//
+// Deprecated: Use Session.Run with the SlowestOnly Strategy:
+// unimem.New(m).Run(ctx, w, unimem.SlowestOnly()).
 func RunNVMOnly(w *Workload, m *Machine) (*Result, error) {
-	return app.Run(w, m, Options{}, app.NewStaticFactory("nvm-only", nil))
+	return defaultSession(m).legacyResult(w, SlowestOnly())
 }
 
 // RunDRAMOnly executes the workload on the undegraded twin of m (NVM tier
 // configured to DRAM parity) — the DRAM-only baseline all results
 // normalize against.
+//
+// Deprecated: Use Session.Run with the DRAMOnly Strategy:
+// unimem.New(m).Run(ctx, w, unimem.DRAMOnly()).
 func RunDRAMOnly(w *Workload, m *Machine) (*Result, error) {
-	dm := m.WithNVMLatencyFactor(1).WithNVMBandwidthFraction(1)
-	return app.Run(w, dm, Options{}, app.NewStaticFactory("dram-only", nil))
+	return defaultSession(m).legacyResult(w, DRAMOnly())
 }
 
 // RunFastestOnly executes the workload on the FastTwin of m: every tier at
 // the hierarchy's component-wise best performance (max bandwidth, min
 // latency) — the upper-bound baseline multi-tier results normalize
 // against (equivalent to RunDRAMOnly on two-tier machines).
+//
+// Deprecated: Use Session.Run with the FastestOnly Strategy:
+// unimem.New(m).Run(ctx, w, unimem.FastestOnly()).
 func RunFastestOnly(w *Workload, m *Machine) (*Result, error) {
-	return app.Run(w, m.FastTwin(), Options{}, app.NewStaticFactory("fast-only", nil))
+	return defaultSession(m).legacyResult(w, FastestOnly())
 }
 
 // TierUsage summarizes one tier's residency and migration traffic for one
@@ -173,41 +208,21 @@ type TieredResult struct {
 // two tiers, the paper's exact pipeline on two-tier machines) and returns
 // the result annotated with rank 0's per-tier residency and migration
 // statistics, plus the per-rank runtimes for inspection.
+//
+// Deprecated: Use Session.Run with the Unimem Strategy and annotate the
+// outcome with Outcome.Tiered: unimem.New(m).Run(ctx, w,
+// unimem.Unimem()), then out.Tiered().
 func RunTiered(w *Workload, m *Machine, cfg Config) (*TieredResult, []*Runtime, error) {
-	res, rts, err := RunOpts(w, m, cfg, Options{})
-	if err != nil {
-		return nil, rts, err
-	}
-	tr := &TieredResult{Result: res}
-	var resident []int64
-	for _, rt := range rts {
-		if rt.Rank() == 0 {
-			resident = rt.TierResidencyBytes()
-			break
-		}
-	}
-	r0 := res.Ranks[0]
-	for t := 0; t < m.NumTiers(); t++ {
-		u := TierUsage{Tier: t, Name: m.TierName(TierKind(t))}
-		if t < len(resident) {
-			u.ResidentBytes = resident[t]
-		}
-		if t < len(r0.Migrations.ToTier) {
-			u.MovesIn = r0.Migrations.ToTier[t]
-		}
-		tr.Tiers = append(tr.Tiers, u)
-	}
-	return tr, rts, nil
+	return defaultSession(m).legacyTiered(w, &cfg)
 }
 
 // RunXMem executes the workload under the X-Mem baseline: an offline
 // profiling pass followed by a static hotness placement.
+//
+// Deprecated: Use Session.Run with the XMem Strategy:
+// unimem.New(m).Run(ctx, w, unimem.XMem()).
 func RunXMem(w *Workload, m *Machine) (*Result, error) {
-	prof, err := xmem.Profile(w, m, Options{})
-	if err != nil {
-		return nil, err
-	}
-	return app.Run(w, m, Options{}, xmem.Factory(xmem.BuildPlacement(w, m, prof)))
+	return defaultSession(m).legacyResult(w, XMem())
 }
 
 // Calibrate performs the one-time platform calibration with STREAM and
