@@ -1,0 +1,86 @@
+// Command unimem-serve is the library's HTTP/JSON daemon: a pool of
+// Sessions (one per platform fingerprint) over a sharded, bounded,
+// disk-persistent run cache, answering /run, /batch, /fleet and /stats.
+//
+//	unimem-serve -addr :8080 -cache-dir /var/lib/unimem -max-entries 4096
+//
+// On SIGINT/SIGTERM the daemon drains in-flight requests and saves the
+// cache snapshot (when -cache-dir is set), so the next start warm-serves
+// previously-computed runs as cache hits. See the README's "Service"
+// section for the endpoint and persistence reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"unimem/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheDir   = flag.String("cache-dir", "", "cache snapshot directory (empty: no persistence)")
+		maxEntries = flag.Int("max-entries", 4096, "run-cache entry budget (0: unbounded)")
+		maxBytes   = flag.Int64("max-bytes", 0, "run-cache byte budget (0: unbounded)")
+		workers    = flag.Int("workers", 0, "per-session worker-pool width (0: GOMAXPROCS)")
+		window     = flag.Int("window", 0, "batch stream window (0: 2x workers)")
+		quick      = flag.Bool("quick", false, "cap workload iteration counts (fast, less faithful)")
+		seed       = flag.Uint64("seed", 0, "harness seed for jobs that carry none (0: library default)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		CacheDir:   *cacheDir,
+		MaxEntries: *maxEntries,
+		MaxBytes:   *maxBytes,
+		Workers:    *workers,
+		Window:     *window,
+		Quick:      *quick,
+		Seed:       *seed,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unimem-serve: %v\n", err)
+		os.Exit(2)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("unimem-serve: listening on %s (cache: %d entries warm)", *addr, srv.LoadedEntries())
+
+	select {
+	case <-ctx.Done():
+		log.Printf("unimem-serve: shutting down")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "unimem-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("unimem-serve: drain: %v", err)
+	}
+	saved, err := srv.SaveCache()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unimem-serve: saving cache snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		log.Printf("unimem-serve: saved %d cache entries to %s", saved, srv.SnapshotPath())
+	}
+}

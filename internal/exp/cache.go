@@ -1,13 +1,14 @@
 package exp
 
 import (
+	"container/list"
 	"context"
 	"errors"
+	"hash/fnv"
 	"strings"
 
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"unimem/internal/app"
 	"unimem/internal/machine"
@@ -25,6 +26,11 @@ import (
 // dramMachineFor(PlatformA().WithNVMLatencyFactor(4)) yield differently
 // named but physically identical platforms, and the cache must recognize
 // them as the same DRAM-only baseline.
+//
+// RunKey is also the snapshot format's unit of versioning: every field is
+// part of the persisted entry key, so a snapshot written by a build whose
+// fingerprint or digest scheme differs simply never matches — stale entries
+// age out through the LRU instead of serving wrong results.
 type RunKey struct {
 	// Workload is name|class|ranks|iterations of the (prep-applied)
 	// workload; for built-in workloads all content is a pure function of
@@ -67,7 +73,8 @@ func keyFor(w *workloads.Workload, m *machine.Machine, strategy string, opts app
 }
 
 // Fingerprint exposes the machine performance fingerprint to the public
-// Session layer (legacy-wrapper sessions key on it).
+// Session layer and the serve pool (legacy-wrapper sessions and served
+// sessions both shard on it).
 func Fingerprint(m *machine.Machine) string { return machineFingerprint(m) }
 
 // machineFingerprint renders every Machine parameter that influences
@@ -92,16 +99,49 @@ func machineFingerprint(m *machine.Machine) string {
 
 // cacheEntry is one memoized run. The done channel gives singleflight
 // semantics: concurrent requests for the same key block on the first
-// executor instead of duplicating the run.
+// executor instead of duplicating the run. completed, size and elem are
+// guarded by the owning shard's mutex; res and err are written once before
+// done closes and read-only after.
 type cacheEntry struct {
+	key  RunKey
 	done chan struct{}
 	res  *app.Result
 	err  error
+
+	completed bool
+	size      int64
+	elem      *list.Element
+}
+
+// cacheShardCount is the shard fan-out. Sixteen shards keep lock hold
+// times negligible against the worker-pool widths the engine runs at
+// (runs dominate; the cache is touched once per cell).
+const cacheShardCount = 16
+
+// cacheShard is one lock domain of the cache: a key map plus an LRU list
+// (front = most recently used) and the shard's slice of every counter, all
+// guarded by one mutex so a snapshot that holds the mutex is coherent.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[RunKey]*cacheEntry
+	lru     *list.List
+	bytes   int64
+
+	hits      int64
+	misses    int64
+	evictions int64
+	loaded    int64
 }
 
 // RunCache memoizes deterministic app.Run executions by RunKey. It is safe
 // for concurrent use by the worker pool; a nil *RunCache disables
 // memoization (every Do executes its function).
+//
+// The cache is sharded by key hash, optionally bounded (entry and byte
+// budgets, least-recently-used eviction of completed entries), and
+// persistable: SaveSnapshot/LoadSnapshot round-trip successful entries
+// through a versioned on-disk format so a restarted server warm-starts
+// (see persist.go).
 //
 // Results are shared by pointer: callers must treat a returned *app.Result
 // as immutable. Errors are cached alongside results so a failing baseline
@@ -109,16 +149,62 @@ type cacheEntry struct {
 // except context cancellation: a run aborted by its caller's context is
 // forgotten, never poisoning the key for callers with a live context.
 type RunCache struct {
-	mu      sync.Mutex
-	entries map[RunKey]*cacheEntry
+	shards [cacheShardCount]cacheShard
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	// maxEntries/maxBytes are per-shard budgets (0: unbounded). The
+	// global budget handed to NewRunCacheBounded is split evenly across
+	// shards, so the bound is approximate for budgets near the shard
+	// count (each shard holds at least one completed entry).
+	maxEntries int
+	maxBytes   int64
 }
 
-// NewRunCache returns an empty cache.
-func NewRunCache() *RunCache {
-	return &RunCache{entries: map[RunKey]*cacheEntry{}}
+// NewRunCache returns an empty, unbounded cache — the configuration the
+// experiment suite uses, where every baseline must stay resident for
+// byte-identical serial-vs-parallel stdout.
+func NewRunCache() *RunCache { return NewRunCacheBounded(0, 0) }
+
+// NewRunCacheBounded returns an empty cache bounded by a total entry count
+// and/or byte budget (0 disables the respective bound). Budgets are
+// enforced per shard (total split across 16 shards, minimum one entry
+// each), so small budgets are approximate; eviction is least-recently-used
+// and never removes an in-flight entry.
+func NewRunCacheBounded(maxEntries int, maxBytes int64) *RunCache {
+	c := &RunCache{}
+	if maxEntries > 0 {
+		c.maxEntries = (maxEntries + cacheShardCount - 1) / cacheShardCount
+	}
+	if maxBytes > 0 {
+		c.maxBytes = (maxBytes + cacheShardCount - 1) / cacheShardCount
+	}
+	for i := range c.shards {
+		c.shards[i].entries = map[RunKey]*cacheEntry{}
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// shard maps a key to its lock domain.
+func (c *RunCache) shard(key RunKey) *cacheShard {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%d|%d|%d|%d|%d",
+		key.Workload, key.Spec, key.Machine, key.Strategy,
+		key.Ranks, key.RPN, key.Seed, key.MatCap, key.Chunk)
+	return &c.shards[h.Sum32()%cacheShardCount]
+}
+
+// resultFootprint approximates the in-memory size of a memoized result for
+// the byte budget: struct headers plus the per-rank and per-phase slices.
+func resultFootprint(res *app.Result) int64 {
+	if res == nil {
+		return 64
+	}
+	n := int64(128) + int64(len(res.Workload)) + int64(len(res.Manager))
+	n += int64(len(res.PhaseNS)) * 8
+	for i := range res.Ranks {
+		n += 96 + int64(len(res.Ranks[i].Migrations.ToTier))*8
+	}
+	return n
 }
 
 // isCtxErr reports whether err is a context cancellation or deadline —
@@ -132,7 +218,9 @@ func isCtxErr(err error) bool {
 // the same key blocks until that execution finishes and counts as a hit,
 // or until its own context is cancelled. When the executing caller is
 // itself cancelled mid-run, the entry is dropped and the next caller with
-// a live context re-executes the run.
+// a live context re-executes the run. A hit refreshes the entry's LRU
+// position; a completed insertion may evict least-recently-used completed
+// entries past the shard budget.
 func (c *RunCache) Do(ctx context.Context, key RunKey, run func() (*app.Result, error)) (*app.Result, error) {
 	if c == nil {
 		return run()
@@ -140,63 +228,174 @@ func (c *RunCache) Do(ctx context.Context, key RunKey, run func() (*app.Result, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sh := c.shard(key)
 	for {
-		c.mu.Lock()
-		e, ok := c.entries[key]
-		if !ok {
-			e = &cacheEntry{done: make(chan struct{})}
-			c.entries[key] = e
-			c.mu.Unlock()
+		sh.mu.Lock()
+		if e, ok := sh.entries[key]; ok {
+			sh.lru.MoveToFront(e.elem)
+			sh.mu.Unlock()
 
-			e.res, e.err = run()
-			if isCtxErr(e.err) {
-				c.mu.Lock()
-				if c.entries[key] == e {
-					delete(c.entries, key)
-				}
-				c.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
 			}
-			close(e.done)
-			c.misses.Add(1)
+			if isCtxErr(e.err) {
+				// The executor was cancelled and the entry dropped; retry under
+				// our own context (which may itself be dead by now).
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			sh.mu.Lock()
+			sh.hits++
+			sh.mu.Unlock()
 			return e.res, e.err
 		}
-		c.mu.Unlock()
+		e := &cacheEntry{key: key, done: make(chan struct{})}
+		sh.entries[key] = e
+		e.elem = sh.lru.PushFront(e)
+		// The miss is counted at insertion, under the same lock that
+		// creates the entry, so any coherent Stats snapshot observes
+		// Entries+Evictions <= Misses+Loaded (never an entry whose miss
+		// has not been recorded yet).
+		sh.misses++
+		sh.mu.Unlock()
 
-		select {
-		case <-e.done:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+		e.res, e.err = run()
+		// Settle the entry's fate under the lock BEFORE waking waiters:
+		// a cancelled entry must already be gone when its waiters retry
+		// (they would otherwise spin on the stale entry until this
+		// goroutine reacquired the lock), and a successful entry must be
+		// fully accounted before a waiter can observe it.
+		sh.mu.Lock()
 		if isCtxErr(e.err) {
-			// The executor was cancelled and the entry dropped; retry under
-			// our own context (which may itself be dead by now).
-			if err := ctx.Err(); err != nil {
-				return nil, err
+			if sh.entries[key] == e {
+				delete(sh.entries, key)
+				sh.lru.Remove(e.elem)
 			}
-			continue
+		} else {
+			e.completed = true
+			e.size = resultFootprint(e.res)
+			sh.bytes += e.size
+			c.evictLocked(sh)
 		}
-		c.hits.Add(1)
+		sh.mu.Unlock()
+		close(e.done)
 		return e.res, e.err
 	}
 }
 
-// CacheStats is a point-in-time snapshot of cache effectiveness.
-type CacheStats struct {
-	// Hits counts Do calls served from a memoized (or in-flight) run.
-	Hits int64
-	// Misses counts Do calls that executed their run function.
-	Misses int64
-	// Entries is the number of distinct keys seen.
-	Entries int
+// evictLocked removes least-recently-used completed entries until the
+// shard is within its budgets. In-flight entries (waiters blocked on them)
+// are never evicted; if only in-flight entries remain the shard runs over
+// budget until they complete. Callers hold sh.mu.
+func (c *RunCache) evictLocked(sh *cacheShard) {
+	over := func() bool {
+		return (c.maxEntries > 0 && sh.lru.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && sh.bytes > c.maxBytes)
+	}
+	for over() {
+		el := sh.lru.Back()
+		for el != nil && !el.Value.(*cacheEntry).completed {
+			el = el.Prev()
+		}
+		if el == nil {
+			return
+		}
+		e := el.Value.(*cacheEntry)
+		sh.lru.Remove(el)
+		delete(sh.entries, e.key)
+		sh.bytes -= e.size
+		sh.evictions++
+	}
 }
 
-// Stats snapshots the hit/miss counters.
+// seed installs an already-computed successful result as a completed
+// entry (the snapshot-load path). It counts as Loaded rather than a miss,
+// refuses to overwrite a live entry, and respects the shard budgets. It
+// reports whether the entry was installed.
+func (c *RunCache) seed(key RunKey, res *app.Result) bool {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[key]; ok {
+		return false
+	}
+	e := &cacheEntry{key: key, done: closedChan, res: res, completed: true, size: resultFootprint(res)}
+	sh.entries[key] = e
+	e.elem = sh.lru.PushFront(e)
+	sh.bytes += e.size
+	sh.loaded++
+	c.evictLocked(sh)
+	return true
+}
+
+// closedChan is the pre-closed done channel of seeded entries.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Contains reports whether key currently has a completed entry, without
+// blocking on in-flight runs — a residency probe for tests and capacity
+// diagnostics (it does not refresh the entry's LRU position).
+func (c *RunCache) Contains(key RunKey) bool {
+	if c == nil {
+		return false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	return ok && e.completed
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness. The
+// snapshot is coherent: every counter is read under the shard locks, so
+// Entries+Evictions never exceeds Misses+Loaded (an entry exists only
+// after its miss — or snapshot load — was recorded).
+type CacheStats struct {
+	// Hits counts Do calls served from a memoized (or in-flight) run.
+	Hits int64 `json:"hits"`
+	// Misses counts Do calls that executed their run function.
+	Misses int64 `json:"misses"`
+	// Entries is the number of distinct keys currently resident
+	// (including in-flight runs).
+	Entries int `json:"entries"`
+	// Evictions counts completed entries removed by the LRU budgets.
+	Evictions int64 `json:"evictions"`
+	// Loaded counts entries seeded from a disk snapshot.
+	Loaded int64 `json:"loaded"`
+	// Bytes is the approximate footprint of resident completed entries.
+	Bytes int64 `json:"bytes"`
+}
+
+// Stats takes a coherent snapshot of the cache counters: all shard locks
+// are held while reading, so the totals are mutually consistent (a
+// concurrent Do can never make the snapshot show an entry whose miss is
+// missing, or a hit/miss total out of step with Entries).
 func (c *RunCache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	c.mu.Lock()
-	n := len(c.entries)
-	c.mu.Unlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	var st CacheStats
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Entries += len(sh.entries)
+		st.Evictions += sh.evictions
+		st.Loaded += sh.loaded
+		st.Bytes += sh.bytes
+	}
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.Unlock()
+	}
+	return st
 }

@@ -1,0 +1,137 @@
+package exp
+
+// This file is the RunCache's snapshot persistence: a versioned JSON
+// format that a long-lived server (cmd/unimem-serve) writes on shutdown
+// and reads on startup, so a restarted process answers previously-served
+// deterministic runs as cache hits instead of re-simulating them.
+//
+// Versioning is two-layered. The file carries an explicit format version
+// (SnapshotVersion) guarding the envelope; the entries version themselves
+// through their RunKeys — the machine performance fingerprint and the
+// scenario spec digest are part of every key, so entries written against a
+// different fingerprint scheme, machine parameterization or spec body can
+// never match a live request. A mismatched envelope is reported as an
+// error (callers cold-start); mismatched keys are merely dead weight that
+// ages out through the LRU.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"unimem/internal/app"
+)
+
+// SnapshotVersion is the on-disk envelope version. Bump it when the entry
+// schema changes shape (not when key semantics change — keys self-version
+// through fingerprint and digest).
+const SnapshotVersion = 1
+
+// ErrSnapshotVersion reports an envelope whose version differs from
+// SnapshotVersion; callers should treat the snapshot as absent.
+var ErrSnapshotVersion = errors.New("exp: run-cache snapshot has incompatible version")
+
+// snapshotFile is the on-disk envelope.
+type snapshotFile struct {
+	Version int             `json:"version"`
+	Entries []snapshotEntry `json:"entries"`
+}
+
+// snapshotEntry is one persisted run: its identity and its result. Errors
+// and in-flight runs are never persisted — only successful completed
+// executions are worth warming a restart with.
+type snapshotEntry struct {
+	Key    RunKey      `json:"key"`
+	Result *app.Result `json:"result"`
+}
+
+// SaveSnapshot atomically writes every completed successful entry to path
+// (temp file in the same directory, then rename), creating parent
+// directories as needed. Entries are written least-recently-used first per
+// shard, so LoadSnapshot reconstructs each shard's recency order. It
+// returns the number of entries written.
+func (c *RunCache) SaveSnapshot(path string) (int, error) {
+	if c == nil {
+		return 0, errors.New("exp: SaveSnapshot on nil RunCache")
+	}
+	snap := snapshotFile{Version: SnapshotVersion}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			if !e.completed || e.err != nil || e.res == nil {
+				continue
+			}
+			snap.Entries = append(snap.Entries, snapshotEntry{Key: e.key, Result: e.res})
+		}
+		sh.mu.Unlock()
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return 0, fmt.Errorf("exp: encoding run-cache snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(dir, ".runcache-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return len(snap.Entries), nil
+}
+
+// LoadSnapshot seeds the cache from a snapshot file written by
+// SaveSnapshot. A missing file is not an error (cold start, 0 entries). A
+// version mismatch returns ErrSnapshotVersion (wrapped), a corrupt file a
+// decode error; in both cases nothing is loaded and callers should proceed
+// cold. Loaded entries count in CacheStats.Loaded, not as misses, and
+// respect the cache's entry/byte budgets (the most recently used entries
+// of an over-budget snapshot win).
+func (c *RunCache) LoadSnapshot(path string) (int, error) {
+	if c == nil {
+		return 0, errors.New("exp: LoadSnapshot on nil RunCache")
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("exp: decoding run-cache snapshot %s: %w", path, err)
+	}
+	if snap.Version != SnapshotVersion {
+		return 0, fmt.Errorf("%w: %s has version %d, want %d",
+			ErrSnapshotVersion, path, snap.Version, SnapshotVersion)
+	}
+	n := 0
+	for _, se := range snap.Entries {
+		if se.Result == nil {
+			continue
+		}
+		if c.seed(se.Key, se.Result) {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,61 @@
+package lru
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTableEvictsLeastRecentlyUsed(t *testing.T) {
+	tb := New[int, string](3)
+	tb.Put(1, "a")
+	tb.Put(2, "b")
+	tb.Put(3, "c")
+	if _, ok := tb.Get(1); !ok { // 1 is now MRU
+		t.Fatal("entry 1 missing")
+	}
+	tb.Put(4, "d") // evicts 2 (LRU), not 1
+	if _, ok := tb.Get(2); ok {
+		t.Error("least-recently-used entry 2 survived eviction")
+	}
+	if _, ok := tb.Get(1); !ok {
+		t.Error("recently-touched entry 1 was evicted")
+	}
+	if tb.Len() != 3 {
+		t.Errorf("len = %d, want 3", tb.Len())
+	}
+}
+
+func TestTablePutRefreshesAndReplaces(t *testing.T) {
+	tb := New[string, int](2)
+	tb.Put("x", 1)
+	tb.Put("y", 2)
+	tb.Put("x", 3) // refresh, not insert
+	if tb.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tb.Len())
+	}
+	if v, _ := tb.Get("x"); v != 3 {
+		t.Errorf("x = %d, want the replaced 3", v)
+	}
+	tb.Put("z", 4) // evicts y (x was refreshed then read)
+	if _, ok := tb.Get("y"); ok {
+		t.Error("y survived; Put did not refresh x's recency")
+	}
+}
+
+func TestTableValuesMRUFirst(t *testing.T) {
+	tb := New[int, int](4)
+	for i := 1; i <= 3; i++ {
+		tb.Put(i, i*10)
+	}
+	tb.Get(1)
+	if got, want := tb.Values(), []int{10, 30, 20}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Values() = %v, want %v (MRU first)", got, want)
+	}
+}
+
+func TestTableMissReturnsZero(t *testing.T) {
+	tb := New[string, *int](1)
+	if v, ok := tb.Get("nope"); ok || v != nil {
+		t.Errorf("miss returned %v, %v", v, ok)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"unimem/internal/exp"
+	"unimem/internal/lru"
 )
 
 // Session is the stateful entry point of the library: one value that owns
@@ -30,6 +31,7 @@ type Session struct {
 	cfg     Config
 	seed    uint64
 	workers int
+	window  int
 	eng     *exp.Engine
 }
 
@@ -39,8 +41,18 @@ type Session struct {
 // must be treated as immutable.
 type RunCache = exp.RunCache
 
-// NewRunCache returns an empty run cache.
+// NewRunCache returns an empty, unbounded run cache.
 func NewRunCache() *RunCache { return exp.NewRunCache() }
+
+// NewRunCacheBounded returns an empty run cache bounded by a total entry
+// count and/or byte budget (0 disables the respective bound). Eviction is
+// least-recently-used; budgets are split across the cache's shards, so
+// small bounds are approximate. Bounded caches back long-lived servers
+// (cmd/unimem-serve) that must not grow without limit; they persist via
+// RunCache.SaveSnapshot/LoadSnapshot.
+func NewRunCacheBounded(maxEntries int, maxBytes int64) *RunCache {
+	return exp.NewRunCacheBounded(maxEntries, maxBytes)
+}
 
 // CacheStats is a point-in-time snapshot of run-cache effectiveness.
 type CacheStats = exp.CacheStats
@@ -69,6 +81,21 @@ func WithWorkers(n int) Option {
 // (default: the harness default seed, matching the legacy Run* behavior).
 func WithSeed(seed uint64) Option {
 	return func(s *Session) { s.seed = seed }
+}
+
+// WithStreamWindow sets Stream's sliding-window size: how many outcomes
+// may be computed but not yet delivered before the pool stalls waiting
+// for the consumer (default: twice the worker-pool width; values below 1
+// restore the default). Larger windows decouple fast workers from a slow
+// consumer at the cost of retaining more results; the window also bounds
+// Stream's memory on large fleets.
+func WithStreamWindow(n int) Option {
+	return func(s *Session) {
+		if n < 1 {
+			n = 0
+		}
+		s.window = n
+	}
 }
 
 // WithQuick caps workload iteration counts (at 12) for fast, less
@@ -190,6 +217,12 @@ func (s *Session) do(ctx context.Context, idx int, job Job) Outcome {
 		o.Err = errors.New("unimem: job has nil Workload")
 		return o
 	}
+	if job.Options.Ranks < 0 {
+		// A negative world size would panic the simulator's world
+		// constructor (zero means "use the workload's own").
+		o.Err = errors.New("unimem: job Options.Ranks must be >= 0")
+		return o
+	}
 	cfg := s.cfg
 	if job.Config != nil {
 		cfg = *job.Config
@@ -244,48 +277,127 @@ func (s *Session) RunAll(ctx context.Context, jobs []Job) ([]Outcome, error) {
 	return outs, perr
 }
 
+// streamWindow returns the effective Stream window: the configured value,
+// or twice the worker-pool width (the pool stays busy while the emitter
+// drains) with a floor of 2.
+func (s *Session) streamWindow() int {
+	if s.window > 0 {
+		return s.window
+	}
+	w := 2 * s.workers
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
 // Stream executes the jobs across the session's worker pool and delivers
 // exactly one outcome per job on the returned channel, in job order
 // (outcome i is sent before outcome i+1 even when job i+1 finishes
-// first); the channel is closed after the last outcome. The channel is
-// buffered for the whole batch, so the emitter never blocks on a slow or
-// departed consumer. When ctx is cancelled mid-fleet, in-flight simulated
-// worlds abort, the outcomes of cancelled and undispatched jobs carry the
-// context error, and the channel still closes promptly.
+// first); the channel is closed after the last outcome.
+//
+// Memory is bounded by a sliding window (WithStreamWindow; default twice
+// the worker-pool width): job i is not dispatched until outcome i-window
+// has been delivered, so a large fleet holds O(window) results at any
+// moment instead of buffering the whole batch. The flip side is
+// backpressure: a consumer that stops receiving eventually stalls the
+// pool, and the emitter is released only by draining the channel —
+// abandoning it mid-batch leaks the emitter and parked pool goroutines
+// along with the window.
+// To stop early, cancel ctx and keep ranging: in-flight simulated worlds
+// abort, the outcomes of cancelled and undispatched jobs carry the
+// context error and arrive immediately, so the drain is cheap and the
+// channel closes promptly.
 func (s *Session) Stream(ctx context.Context, jobs []Job) <-chan Outcome {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	n := len(jobs)
-	out := make(chan Outcome, n)
-	results := make([]Outcome, n)
-	ready := make([]chan struct{}, n)
-	for i := range ready {
-		ready[i] = make(chan struct{})
+	window := s.streamWindow()
+	if window > n && n > 0 {
+		window = n
 	}
-	poolDone := make(chan struct{})
+	out := make(chan Outcome)
+
+	// st is the shared window state: a ring of the outcomes computed but
+	// not yet delivered, the delivery cursor, and the two termination
+	// signals. cond coordinates three parties — workers waiting for the
+	// window to slide, the emitter waiting for its next slot to fill, and
+	// the watcher broadcasting cancellation/pool-exit.
+	st := struct {
+		sync.Mutex
+		cond      *sync.Cond
+		ring      []Outcome
+		filled    []bool
+		emitted   int // next index to deliver
+		cancelled bool
+		poolDone  bool
+	}{ring: make([]Outcome, window), filled: make([]bool, window)}
+	st.cond = sync.NewCond(&st.Mutex)
+
+	poolExit := make(chan struct{})
 	go func() {
-		defer close(poolDone)
+		select {
+		case <-ctx.Done():
+			st.Lock()
+			st.cancelled = true
+			st.cond.Broadcast()
+			st.Unlock()
+		case <-poolExit:
+		}
+	}()
+	go func() {
 		s.eng.ForEach(ctx, s.workers, n, func(i int) error {
-			results[i] = s.do(ctx, i, jobs[i])
-			close(ready[i])
+			st.Lock()
+			for i >= st.emitted+window && !st.cancelled {
+				st.cond.Wait()
+			}
+			if st.cancelled && i >= st.emitted+window {
+				// The window will never reach this job; leave its slot
+				// unfilled and let the emitter synthesize the cancelled
+				// outcome once the pool has drained.
+				st.Unlock()
+				return nil
+			}
+			st.Unlock()
+			o := s.do(ctx, i, jobs[i])
+			st.Lock()
+			st.ring[i%window] = o
+			st.filled[i%window] = true
+			st.cond.Broadcast()
+			st.Unlock()
 			return nil
 		})
+		close(poolExit)
+		st.Lock()
+		st.poolDone = true
+		st.cond.Broadcast()
+		st.Unlock()
 	}()
 	go func() {
 		defer close(out)
 		for i := 0; i < n; i++ {
-			select {
-			case <-ready[i]:
-			case <-poolDone:
-				// The pool stopped (cancellation) before dispatching job i.
-				select {
-				case <-ready[i]:
-				default:
-					results[i] = Outcome{Index: i, Job: jobs[i], Err: ctx.Err(), mach: s.m}
-				}
+			slot := i % window
+			st.Lock()
+			for !st.filled[slot] && !st.poolDone {
+				st.cond.Wait()
 			}
-			out <- results[i]
+			var o Outcome
+			if st.filled[slot] {
+				o = st.ring[slot]
+				st.ring[slot] = Outcome{}
+				st.filled[slot] = false
+			} else {
+				// The pool exited (cancellation) without running job i.
+				o = Outcome{Index: i, Job: jobs[i], Err: ctx.Err(), mach: s.m}
+			}
+			// Slide the window before the (possibly blocking) send so the
+			// pool keeps working while the consumer catches up; at most
+			// window outcomes plus the one in flight are retained.
+			st.emitted = i + 1
+			st.cond.Broadcast()
+			st.Unlock()
+			out <- o
 		}
 	}()
 	return out
@@ -297,16 +409,19 @@ func (s *Session) Stream(ctx context.Context, jobs []Job) <-chan Outcome {
 // calibration instead of re-measuring it every run. Run memoization is
 // disabled here — each legacy call still owns a fresh Result, exactly as
 // the free functions always behaved.
+//
+// The table is bounded and evicts by least recent use: a sweep over
+// thousands of machine variants must not retain a session (and its
+// calibration) per variant forever, but the hot machines a program keeps
+// returning to must survive that churn (the original implementation
+// stopped admitting new entries once full, and its successor evicted in
+// arbitrary map-iteration order — both starved hot platforms).
 var (
 	defaultMu       sync.Mutex
-	defaultSessions = map[string]*Session{}
+	defaultSessions = lru.New[string, *Session](maxDefaultSessions)
 )
 
-// maxDefaultSessions bounds the per-machine default-session table: a
-// sweep over thousands of machine variants through the legacy wrappers
-// must not retain a session (and its calibration) per variant forever.
-// Variants past the cap get a fresh unretained session — exactly the
-// stateless per-call behavior the free functions always had.
+// maxDefaultSessions bounds the per-machine default-session table.
 const maxDefaultSessions = 64
 
 func defaultSession(m *Machine) *Session {
@@ -318,13 +433,11 @@ func defaultSession(m *Machine) *Session {
 	key := exp.Fingerprint(m) + "|" + strings.Join(names, "|")
 	defaultMu.Lock()
 	defer defaultMu.Unlock()
-	if s, ok := defaultSessions[key]; ok {
+	if s, ok := defaultSessions.Get(key); ok {
 		return s
 	}
 	s := New(m, WithCache(nil))
-	if len(defaultSessions) < maxDefaultSessions {
-		defaultSessions[key] = s
-	}
+	defaultSessions.Put(key, s)
 	return s
 }
 

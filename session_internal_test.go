@@ -1,0 +1,49 @@
+package unimem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDefaultSessionLRUSurvivesChurn is the regression for the legacy
+// default-session table's eviction policy: the table is bounded, and when
+// a sweep of machine variants overflows it, eviction must be
+// least-recently-used — a hot machine the program keeps returning to must
+// keep its session (and thus its memoized calibration) across the churn.
+// The first bounded implementation stopped admitting entries once full;
+// an arbitrary-order (map iteration) eviction would drop the hot session
+// with probability ~1 over a long sweep. Both fail this test.
+func TestDefaultSessionLRUSurvivesChurn(t *testing.T) {
+	hot := PlatformA()
+	hotSess := defaultSession(hot)
+
+	// A cold variant admitted before the churn: with LRU eviction it must
+	// be gone afterwards (it is never touched again).
+	cold := PlatformA().WithDRAMCapacity(333 << 20)
+	coldSess := defaultSession(cold)
+
+	// Churn: far more distinct variants than the table holds, touching
+	// the hot machine between insertions so it is always recently used.
+	for i := 0; i < 3*maxDefaultSessions; i++ {
+		variant := PlatformA().WithDRAMCapacity(int64(i+1) << 20)
+		variant.Name = fmt.Sprintf("churn-%d", i)
+		defaultSession(variant)
+		if got := defaultSession(hot); got != hotSess {
+			t.Fatalf("hot machine lost its session after %d insertions; eviction is not LRU", i+1)
+		}
+	}
+
+	defaultMu.Lock()
+	size := defaultSessions.Len()
+	defaultMu.Unlock()
+	if size > maxDefaultSessions {
+		t.Errorf("table holds %d entries, want <= %d", size, maxDefaultSessions)
+	}
+
+	if got := defaultSession(hot); got != hotSess {
+		t.Error("hot machine's session did not survive the churn")
+	}
+	if got := defaultSession(cold); got == coldSess {
+		t.Error("cold (never-touched) session survived 3x-capacity churn; eviction order is wrong")
+	}
+}

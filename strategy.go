@@ -1,6 +1,11 @@
 package unimem
 
-import "unimem/internal/exp"
+import (
+	"fmt"
+	"strings"
+
+	"unimem/internal/exp"
+)
 
 // Strategy is a first-class placement policy, the value a Session executes
 // a workload under. One strategy type replaces the historical zoo of
@@ -56,4 +61,36 @@ func XMem() Strategy { return exp.StrategyXMem() }
 // cache, so distinct placement functions must carry distinct names.
 func StaticFunc(name string, inFastest func(object string) bool) Strategy {
 	return exp.StrategyStaticFunc(name, inFastest)
+}
+
+// StrategyNames returns the parseable strategy names in presentation
+// order — the vocabulary ParseStrategy accepts and the serve API's
+// "strategy" field speaks.
+func StrategyNames() []string {
+	return []string{"unimem", "fastest-only", "slowest-only", "dram-only", "hint-density", "xmem"}
+}
+
+// ParseStrategy resolves a strategy by wire name (case-insensitive):
+// "unimem", "fastest-only", "slowest-only" (alias "nvm-only"),
+// "dram-only", "hint-density" (alias "static-hint-density"), "xmem". The
+// serve subsystem and other text front ends use it to map request fields
+// onto Strategy values; StaticFunc strategies are not parseable (they
+// carry code).
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "unimem":
+		return Unimem(), nil
+	case "fastest-only", "fast-only", "fastestonly":
+		return FastestOnly(), nil
+	case "slowest-only", "nvm-only", "slowestonly":
+		return SlowestOnly(), nil
+	case "dram-only", "dramonly":
+		return DRAMOnly(), nil
+	case "hint-density", "static-hint-density", "tiered-static":
+		return StaticHintDensity(), nil
+	case "xmem", "x-mem":
+		return XMem(), nil
+	}
+	return Strategy{}, fmt.Errorf("unimem: unknown strategy %q (want one of %s)",
+		name, strings.Join(StrategyNames(), ", "))
 }

@@ -48,8 +48,10 @@
 // RunFastestOnly and RunXMem predate the Session API; they remain as
 // deprecated wrappers over a shared per-machine default session.
 //
-// See the examples directory for complete programs and cmd/unimem-bench
-// for the paper's experiments.
+// See the examples directory for complete programs, cmd/unimem-bench for
+// the paper's experiments, and cmd/unimem-serve for the HTTP service
+// front end (a session pool over a shared, bounded, disk-persistent run
+// cache).
 package unimem
 
 import (
