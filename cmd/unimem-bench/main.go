@@ -16,10 +16,19 @@
 //	unimem-bench -exp table4 -csv out.csv
 //	unimem-bench -exp scenariofleet -quick -fleet 8 -parallel
 //	unimem-bench -exp all -parallel -timeout 10m
+//	unimem-bench -bench -quick -bench-out BENCH_mpisim.json
 //
 // -timeout bounds the whole run: on expiry, in-flight simulated worlds
 // abort, the partial cache statistics are printed to stderr, and the
 // process exits nonzero.
+//
+// -bench switches to the simulator micro/macro benchmark mode: it runs
+// ping-pong, allreduce at 64/1k/10k ranks and the CG/SP/MG comm skeletons
+// on the event-driven mpisim core and (where its ranks² allocation is
+// feasible) the retired goroutine oracle engine, and writes the
+// before/after comparison to -bench-out as JSON — the repo's perf
+// trajectory artifact. A 10k-rank world that cannot complete fails the
+// run, which is the scale gate CI enforces.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"unimem/internal/exp"
+	"unimem/internal/mpisim/simprog"
 )
 
 // summary is the machine-readable run report of the JSON output mode.
@@ -56,6 +66,38 @@ type document struct {
 	Summary summary      `json:"summary"`
 }
 
+// runBenchMode runs the mpisim micro/macro benchmarks on both engines and
+// writes the before/after JSON document. Progress goes to stderr; stdout
+// stays silent (the experiment-golden discipline).
+func runBenchMode(quick bool, out string) int {
+	start := time.Now()
+	doc, err := simprog.RunBenchSuite(quick, func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	f := os.Stdout
+	if out != "-" {
+		var ferr error
+		if f, ferr = os.Create(out); ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			return 1
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "%d benchmark cells in %v; per-core speedups event-vs-oracle: %v\n",
+		len(doc.Results), time.Since(start).Round(time.Millisecond), doc.SpeedupPerCore)
+	return 0
+}
+
 func main() {
 	var (
 		expID    = flag.String("exp", "all", "experiment id (see -list), comma-separated list, or 'all'")
@@ -70,8 +112,14 @@ func main() {
 		jsonOut  = flag.String("json", "", "write results as JSON to this file ('-' for stdout, suppressing tables)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0: no limit)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		bench    = flag.Bool("bench", false, "run the mpisim engine benchmarks instead of experiments")
+		benchOut = flag.String("bench-out", "BENCH_mpisim.json", "benchmark JSON destination for -bench")
 	)
 	flag.Parse()
+
+	if *bench {
+		os.Exit(runBenchMode(*quick, *benchOut))
+	}
 
 	order, reg := exp.Registry()
 	if *list {

@@ -138,9 +138,11 @@ func Run(w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFact
 }
 
 // RunCtx is Run bounded by a context: when ctx is cancelled mid-run the
-// simulated world is aborted (ranks parked in collectives or receives wake
-// immediately), every rank unwinds at its next phase boundary after
-// stopping its manager's helper thread, and RunCtx returns ctx's error.
+// simulated world is aborted — ranks parked in collectives or receives
+// wake immediately and unwind through the simulator's abort sentinel,
+// running ranks stop at their next phase boundary or MPI call — each rank
+// stopping its manager's helper thread first, and RunCtx returns ctx's
+// error.
 // Results of a cancelled run are never returned. A background context adds
 // no overhead beyond one atomic load per phase.
 func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts Options, mf ManagerFactory) (*Result, error) {
@@ -195,16 +197,36 @@ func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts
 			errs[rank] = fmt.Errorf("rank %d setup: %w", rank, err)
 			return
 		}
+		loopEnded := false
+		endLoop := func() {
+			if !loopEnded {
+				loopEnded = true
+				mgr.LoopEnd(rc)
+			}
+		}
+		// A cancellation can surface mid-operation: the simulator's
+		// post-abort primitives panic with a sentinel rather than return
+		// nil payloads. Recover it here so the manager's helper thread is
+		// stopped before the rank unwinds; genuine panics keep propagating.
+		defer func() {
+			if p := recover(); p != nil {
+				if !mpisim.IsAbort(p) {
+					panic(p)
+				}
+				endLoop()
+				errs[rank] = ctx.Err()
+			}
+		}()
 		mgr.LoopStart(rc)
 		for iter := 0; iter < w.Iterations; iter++ {
 			for pi := range w.Phases {
-				// Ranks may notice the abort at different phases; that is
-				// safe because every communication primitive is non-blocking
-				// once the world is poisoned. LoopEnd still runs so the
-				// manager's helper thread terminates before we unwind.
+				// Ranks may notice the abort at different phases (the
+				// phase-boundary check here) or mid-operation (the
+				// sentinel recovered above); either way LoopEnd runs so
+				// the manager's helper thread terminates before we unwind.
 				if world.Aborted() {
 					errs[rank] = ctx.Err()
-					mgr.LoopEnd(rc)
+					endLoop()
 					return
 				}
 				ph := &w.Phases[pi]
@@ -228,7 +250,7 @@ func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts
 				mgr.PhaseEnd(rc, dur, traffic)
 			}
 		}
-		mgr.LoopEnd(rc)
+		endLoop()
 		res.Ranks[rank] = RankResult{
 			Rank:       rank,
 			TimeNS:     c.Clock(),

@@ -1,0 +1,146 @@
+package mpisim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"unimem/internal/mpisim/simprog"
+)
+
+// FuzzRecvTagMatching decodes a fuzz byte stream into a 2-rank message
+// program — rank 0 sends a burst of tagged messages (blocking and
+// non-blocking mixed), rank 1 consumes the same tag multiset in a
+// fuzz-chosen order through a mix of Recv and out-of-order Irecv/Wait
+// completion — and asserts: the program terminates (the event scheduler
+// panics on deadlock, so a hang is a failure, not a timeout), every
+// message is delivered exactly once in FIFO-per-tag order, and the
+// event-driven core's clocks match the goroutine oracle's.
+func FuzzRecvTagMatching(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
+	f.Add([]byte{7, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Add([]byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88, 0x77, 0x66})
+	f.Add(bytes.Repeat([]byte{0x5a}, 48))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		prog, want := decodeTagProgram(raw)
+		m := simprog.PlatformFor()
+		ev := prog.Run(simprog.Event, m)
+		or := prog.Run(simprog.Oracle, m)
+
+		// No message loss, FIFO within each (src, tag) stream: rank 1's
+		// received payloads must be exactly the expected sequence.
+		got := ev[1].Recvd
+		if len(got) != len(want) {
+			t.Fatalf("rank 1 received %d payloads, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("completion %d: got %q, want %q", i, got[i], want[i])
+			}
+		}
+		// Oracle-equal clocks on both ranks.
+		for r := 0; r < 2; r++ {
+			if ev[r].Clock != or[r].Clock || ev[r].CommNS != or[r].CommNS {
+				t.Fatalf("rank %d: event (clock=%d, comm=%d) != oracle (clock=%d, comm=%d)",
+					r, ev[r].Clock, ev[r].CommNS, or[r].Clock, or[r].CommNS)
+			}
+		}
+	})
+}
+
+// decodeTagProgram turns a fuzz byte stream into a deadlock-free 2-rank
+// program plus rank 1's expected payload sequence in completion order.
+func decodeTagProgram(raw []byte) (*simprog.Program, [][]byte) {
+	next := func(i int) byte {
+		if len(raw) == 0 {
+			return 0
+		}
+		return raw[i%len(raw)]
+	}
+	n := 1 + int(next(0))%24 // messages
+	type msg struct {
+		tag     int
+		bytes   int64
+		payload []byte
+	}
+	msgs := make([]msg, n)
+	prog := &simprog.Program{P: 2, Ranks: make([][]simprog.Op, 2)}
+	cursor := 1
+	for i := range msgs {
+		b1, b2 := next(cursor), next(cursor+1)
+		cursor += 2
+		msgs[i] = msg{
+			tag:     int(b1) % 4, // few tags: force reorder-buffer traffic
+			bytes:   1 + int64(b2)*97,
+			payload: []byte(fmt.Sprintf("p%d.t%d", i, int(b1)%4)),
+		}
+		op := simprog.Op{Kind: simprog.OpSend, Peer: 1, Tag: msgs[i].tag,
+			Bytes: msgs[i].bytes, Data: msgs[i].payload}
+		if next(cursor)%2 == 1 {
+			op.Kind = simprog.OpIsend
+			op.Slot = 1000 + i
+		}
+		cursor++
+		prog.Ranks[0] = append(prog.Ranks[0], op)
+		// Sends are trivially complete; wait immediately when non-blocking.
+		if op.Kind == simprog.OpIsend {
+			prog.Ranks[0] = append(prog.Ranks[0], simprog.Op{Kind: simprog.OpWait, Slot: op.Slot})
+		}
+	}
+
+	// Receiver: consume the same tag multiset in a fuzz-chosen order,
+	// through blocking receives and batched Irecvs completed LIFO.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next(cursor)) % (i + 1)
+		cursor++
+		order[i], order[j] = order[j], order[i]
+	}
+	// Expected matching: completions pop FIFO within each tag's sent
+	// stream, in the order the receiver *completes* (Recv call or Wait).
+	tagFIFO := map[int][][]byte{}
+	for _, m := range msgs {
+		tagFIFO[m.tag] = append(tagFIFO[m.tag], m.payload)
+	}
+	popTag := func(tag int) []byte {
+		q := tagFIFO[tag]
+		p := q[0]
+		tagFIFO[tag] = q[1:]
+		return p
+	}
+	var want [][]byte
+	var pendingWaits []simprog.Op // LIFO-completed Irecvs
+	var pendingTags []int
+	flush := func() {
+		for i := len(pendingWaits) - 1; i >= 0; i-- {
+			prog.Ranks[1] = append(prog.Ranks[1], pendingWaits[i])
+			want = append(want, popTag(pendingTags[i]))
+		}
+		pendingWaits = pendingWaits[:0]
+		pendingTags = pendingTags[:0]
+	}
+	for k, i := range order {
+		tag := msgs[i].tag
+		switch next(cursor) % 3 {
+		case 0, 1:
+			prog.Ranks[1] = append(prog.Ranks[1], simprog.Op{Kind: simprog.OpRecv, Peer: 0, Tag: tag})
+			want = append(want, popTag(tag))
+		case 2:
+			slot := 2000 + k
+			prog.Ranks[1] = append(prog.Ranks[1], simprog.Op{Kind: simprog.OpIrecv, Peer: 0, Tag: tag, Slot: slot})
+			pendingWaits = append(pendingWaits, simprog.Op{Kind: simprog.OpWait, Slot: slot})
+			pendingTags = append(pendingTags, tag)
+		}
+		cursor++
+		if next(cursor)%5 == 0 {
+			flush()
+		}
+		cursor++
+	}
+	flush()
+	return prog, want
+}

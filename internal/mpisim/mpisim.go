@@ -1,14 +1,57 @@
 // Package mpisim is the MPI substrate: an in-process message-passing world
-// whose ranks run as goroutines, exchange real messages over channels, and
-// carry per-rank virtual clocks that synchronize exactly the way MPI
-// communication serializes real time (a receive cannot complete before the
-// matching send's departure plus the network model's transfer time;
+// of P ranks with per-rank virtual clocks that synchronize exactly the way
+// MPI communication serializes real time (a receive cannot complete before
+// the matching send's departure plus the network model's transfer time;
 // collectives align all participants on the latest arrival).
 //
-// It also provides the PMPI-style interposition layer of the paper's Fig. 7:
-// every MPI operation first invokes the registered hook, which is how the
-// Unimem runtime transparently identifies execution phases and toggles
-// profiling without programmer intervention.
+// # Execution model
+//
+// The world is a discrete-event scheduler, not a pool of free-running
+// goroutines. Rank bodies are resumable coroutines: each rank does run on
+// its own goroutine, but exactly one is awake at a time, and control is
+// handed off through per-rank scheduler channels — a rank that blocks (a
+// receive with no matching message, a collective still waiting for peers)
+// registers its wake condition, dispatches the next runnable rank from a
+// virtual-clock-ordered priority queue, and parks until a peer's event
+// completes it. Point-to-point messages live in sparse per-pair FIFO
+// queues allocated on first use, sends never block (unbounded queues, so
+// opposing SendRecv bursts cannot deadlock), and a collective is an O(P)
+// rendezvous event: the last arriver computes the clock maximum and marks
+// every waiter runnable.
+//
+// Because scheduler state is only ever touched by the single running rank,
+// the engine needs no locks on its hot path, allocates O(P) per world
+// (against the retired engine's eager ranks² mailbox matrix), and detects
+// true deadlock: if every live rank is blocked, Run panics with a
+// diagnostic instead of hanging.
+//
+// The previous implementation — one free-running goroutine per rank,
+// buffered-channel mailboxes, sync.Cond collectives — is retired to
+// package oracle and retained as the reference engine: the differential
+// and fuzz suites assert that both engines produce identical per-rank
+// Clock() and CommNS on randomized programs, and `unimem-bench -bench`
+// measures the two against each other.
+//
+// # Determinism
+//
+// Scheduling is fully deterministic: runnable ranks dispatch in
+// (virtual clock, rank) order, so a program's complete event order — not
+// just its dataflow-determined final clocks — is reproducible run to run.
+//
+// # Abort
+//
+// Abort poisons the world. Every MPI operation attempted after the abort
+// panics with a private sentinel that Run recovers and swallows (ranks
+// parked mid-operation wake and unwind the same way), so a cancelled run
+// tears down promptly without ever returning nil payloads that could be
+// mistaken for genuine empty messages. Harness code that must clean up
+// per-rank state on that path (stopping helper threads) recovers the
+// sentinel itself — see IsAbort.
+//
+// It also provides the PMPI-style interposition layer of the paper's
+// Fig. 7: every MPI operation first invokes the registered hook, which is
+// how the Unimem runtime transparently identifies execution phases and
+// toggles profiling without programmer intervention.
 package mpisim
 
 import (
@@ -42,95 +85,148 @@ type message struct {
 	depart int64 // sender virtual time when the message left
 }
 
-// World is a fixed-size communicator of P ranks.
+// World is a fixed-size communicator of P ranks. A World is single-use:
+// construct, Run once, discard.
 type World struct {
 	P    int
 	Mach *machine.Machine
 
-	// mail[src][dst] carries messages; buffered so Isend never blocks the
-	// sender goroutine for the eager sizes our workloads use.
-	mail [][]chan message
-	coll *collSync
+	sched *sched
 
-	// abortCh is closed by Abort; every blocking communication primitive
-	// selects on it so no rank stays parked after the world is torn down.
+	// abortCh is closed by Abort; parked ranks select on it so none stays
+	// asleep after the world is torn down.
 	abortCh   chan struct{}
 	abortOnce sync.Once
 	aborted   atomic.Bool
+	ran       atomic.Bool
+	// deadlockDiag is set (inside abortOnce) when the scheduler detected
+	// that every live rank was blocked; Run re-panics it after teardown.
+	deadlockDiag string
 }
 
-// NewWorld creates a world of p ranks over the given machine.
+// NewWorld creates a world of p ranks over the given machine. Allocation
+// is O(p): message queues are sparse, created on first use per rank pair.
 func NewWorld(p int, m *machine.Machine) *World {
 	if p <= 0 {
 		panic("mpisim: world size must be positive")
 	}
-	mail := make([][]chan message, p)
-	for s := range mail {
-		mail[s] = make([]chan message, p)
-		for d := range mail[s] {
-			mail[s][d] = make(chan message, 1024)
-		}
-	}
-	return &World{P: p, Mach: m, mail: mail, coll: newCollSync(p), abortCh: make(chan struct{})}
+	w := &World{P: p, Mach: m, abortCh: make(chan struct{})}
+	w.sched = newSched(w)
+	return w
 }
 
-// Abort poisons the world: every blocked or future communication operation
-// returns immediately instead of waiting for peers, and Aborted reports
-// true. Rank bodies are expected to notice the flag at their next
-// decision point and unwind; results of an aborted run are meaningless and
-// must be discarded. Abort is idempotent and safe from any goroutine — it
-// is how a context cancellation reaches ranks parked inside collectives.
+// Abort poisons the world: every rank parked in a communication operation
+// wakes immediately, and every in-progress or future MPI operation panics
+// with the abort sentinel, which Run recovers per rank (see IsAbort).
+// Results of an aborted run are meaningless and must be discarded. Abort is
+// idempotent and safe from any goroutine — it is how a context cancellation
+// reaches ranks parked inside collectives.
 func (w *World) Abort() {
 	w.abortOnce.Do(func() {
 		w.aborted.Store(true)
 		close(w.abortCh)
-		w.coll.abort()
 	})
 }
 
 // Aborted reports whether Abort has been called.
 func (w *World) Aborted() bool { return w.aborted.Load() }
 
-// Run spawns one goroutine per rank executing body and blocks until all
-// ranks return. Panics in rank bodies propagate after all ranks finish or
-// the panicking rank unwinds (fail-fast for tests).
+// abortPanic is the sentinel post-abort operations panic with.
+type abortPanic struct{}
+
+func (abortPanic) String() string { return "mpisim: world aborted" }
+
+// IsAbort reports whether a recovered panic value is the world-abort
+// sentinel. Rank bodies that own external resources (helper goroutines)
+// recover it to clean up, then re-panic or return; Run swallows it.
+func IsAbort(p interface{}) bool {
+	_, ok := p.(abortPanic)
+	return ok
+}
+
+// Run executes body as P resumable coroutines and blocks until every rank
+// returns (or unwinds through an abort). Non-abort panics in rank bodies
+// poison the world so blocked peers unwind, then propagate from Run; a
+// detected deadlock (every live rank blocked on a peer) propagates as a
+// "mpisim: deadlock" panic with a diagnostic.
 func (w *World) Run(body func(c *Comm)) {
+	if !w.ran.CompareAndSwap(false, true) {
+		panic("mpisim: World.Run called twice (worlds are single-use)")
+	}
+	s := w.sched
 	var wg sync.WaitGroup
 	panics := make(chan interface{}, w.P)
-	for r := 0; r < w.P; r++ {
+	for _, c := range s.ranks {
 		wg.Add(1)
-		go func(rank int) {
+		go func(c *Comm) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics <- fmt.Sprintf("rank %d: %v", rank, p)
+					if IsAbort(p) {
+						return // sanctioned teardown
+					}
+					// A real panic: poison the world so parked peers
+					// unwind instead of waiting for this rank forever.
+					w.Abort()
+					panics <- fmt.Sprintf("rank %d: %v", c.rank, p)
 				}
 			}()
-			body(&Comm{world: w, rank: rank})
-		}(r)
+			// Park until dispatched (or the world dies first).
+			select {
+			case <-c.resume:
+			case <-w.abortCh:
+				panic(abortPanic{})
+			}
+			body(c)
+			// On an aborted world the scheduler is no longer owned by
+			// anyone (peers unwind concurrently off abortCh), so a body
+			// that returns during teardown — e.g. after recovering the
+			// sentinel itself — must not touch the run queue.
+			if !w.aborted.Load() {
+				s.finish(c)
+			}
+		}(c)
 	}
+	s.start()
 	wg.Wait()
 	select {
 	case p := <-panics:
 		panic(p)
 	default:
 	}
+	if w.deadlockDiag != "" {
+		panic(w.deadlockDiag)
+	}
 }
 
-// Comm is one rank's endpoint: rank id, virtual clock, pending-message
-// reorder buffers and the PMPI hook.
+// Comm is one rank's endpoint: rank id, virtual clock, sparse per-source
+// receive queues and the PMPI hook. It doubles as the rank's scheduler
+// record; see sched.go for the coroutine fields.
 type Comm struct {
 	world *World
 	rank  int
 	clock int64
 	hook  Hook
-	// pending holds messages received from a source ahead of the tag the
-	// caller asked for (tag-matching reorder buffer).
-	pending map[int][]message
 
 	// CommNS accumulates virtual time spent inside MPI operations
 	// (communication + synchronization wait), for reporting.
 	CommNS int64
+
+	// resume is the rank's scheduler channel: a dispatch token arrives
+	// when the rank becomes the running coroutine.
+	resume chan struct{}
+	state  rankState
+	// inbox[src] holds undelivered messages from src in arrival order
+	// (the tag-matching reorder buffer: Recv takes the first tag match).
+	// Allocated on first message — worlds are O(P) unless traffic is
+	// genuinely all-to-all.
+	inbox map[int][]message
+	// Blocked-receive descriptor (state == stBlockedRecv).
+	wantSrc int
+	wantTag int
+	got     message
+	// Collective rendezvous result (state == stBlockedColl).
+	collMax int64
 }
 
 // Rank returns this endpoint's rank.
@@ -170,25 +266,19 @@ func (c *Comm) callHook(op string) {
 	}
 }
 
+// checkAbort makes every post-abort operation fail fast with the sentinel.
+func (c *Comm) checkAbort() {
+	if c.world.aborted.Load() {
+		panic(abortPanic{})
+	}
+}
+
 // Send transmits bytes simulated bytes (with optional real payload) to dst
 // with the given tag. The sender is charged the local injection overhead.
+// Sends never block: the per-pair queue is unbounded.
 func (c *Comm) Send(dst, tag int, bytes int64, data []byte) {
 	c.callHook("Send")
 	c.send(dst, tag, bytes, data)
-}
-
-func (c *Comm) send(dst, tag int, bytes int64, data []byte) {
-	if dst < 0 || dst >= c.world.P {
-		panic(fmt.Sprintf("mpisim: send to invalid rank %d", dst))
-	}
-	// Local injection overhead: half the latency term.
-	inject := int64(c.world.Mach.NetLatencyNS / 2)
-	c.clock += inject
-	c.CommNS += inject
-	select {
-	case c.world.mail[c.rank][dst] <- message{tag: tag, bytes: bytes, data: data, depart: c.clock}:
-	case <-c.world.abortCh:
-	}
 }
 
 // Recv blocks until a message with the tag arrives from src, synchronizes
@@ -196,45 +286,6 @@ func (c *Comm) send(dst, tag int, bytes int64, data []byte) {
 func (c *Comm) Recv(src, tag int) []byte {
 	c.callHook("Recv")
 	return c.recv(src, tag)
-}
-
-func (c *Comm) recv(src, tag int) []byte {
-	if src < 0 || src >= c.world.P {
-		panic(fmt.Sprintf("mpisim: recv from invalid rank %d", src))
-	}
-	if c.pending == nil {
-		c.pending = make(map[int][]message)
-	}
-	// Check the reorder buffer first.
-	q := c.pending[src]
-	for i, m := range q {
-		if m.tag == tag {
-			c.pending[src] = append(q[:i], q[i+1:]...)
-			c.completeRecv(m)
-			return m.data
-		}
-	}
-	for {
-		select {
-		case m := <-c.world.mail[src][c.rank]:
-			if m.tag == tag {
-				c.completeRecv(m)
-				return m.data
-			}
-			c.pending[src] = append(c.pending[src], m)
-		case <-c.world.abortCh:
-			return nil
-		}
-	}
-}
-
-func (c *Comm) completeRecv(m message) {
-	arrive := m.depart + int64(c.world.Mach.MsgTimeNS(m.bytes))
-	wait := arrive - c.clock
-	if wait > 0 {
-		c.clock = arrive
-		c.CommNS += wait
-	}
 }
 
 // Request is a handle for a non-blocking operation, completed by Wait.
@@ -247,11 +298,12 @@ type Request struct {
 	data     []byte
 }
 
-// Isend starts a non-blocking send. With buffered channels the payload is
-// injected immediately; the returned request completes trivially, matching
-// MPI's eager protocol for the message sizes the workloads use. Per the
-// paper's phase definition, a non-blocking call is not a phase boundary, so
-// Isend does not invoke the PMPI hook; the completion (Wait) does.
+// Isend starts a non-blocking send. Sends are truly non-blocking (the
+// per-pair queue is unbounded), so the returned request completes
+// trivially, matching MPI's eager protocol for the message sizes the
+// workloads use. Per the paper's phase definition, a non-blocking call is
+// not a phase boundary, so Isend does not invoke the PMPI hook; the
+// completion (Wait) does.
 func (c *Comm) Isend(dst, tag int, bytes int64, data []byte) *Request {
 	c.send(dst, tag, bytes, data)
 	return &Request{comm: c, done: true}
@@ -277,64 +329,6 @@ func (r *Request) Wait() []byte {
 	return r.data
 }
 
-// collSync implements clock-maximizing rendezvous for collectives.
-type collSync struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	p     int
-	count int
-	gen   int
-	max   int64
-	prev  int64 // result of the last completed generation
-	// down is set by abort: arrive stops waiting for absent peers and
-	// returns the caller's own clock (the run's results are discarded).
-	down bool
-}
-
-func newCollSync(p int) *collSync {
-	cs := &collSync{p: p}
-	cs.cond = sync.NewCond(&cs.mu)
-	return cs
-}
-
-// arrive blocks until all p ranks have arrived and returns the maximum
-// clock among them.
-func (cs *collSync) arrive(clock int64) int64 {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.down {
-		return clock
-	}
-	gen := cs.gen
-	if clock > cs.max {
-		cs.max = clock
-	}
-	cs.count++
-	if cs.count == cs.p {
-		cs.prev = cs.max
-		cs.count = 0
-		cs.max = 0
-		cs.gen++
-		cs.cond.Broadcast()
-		return cs.prev
-	}
-	for cs.gen == gen && !cs.down {
-		cs.cond.Wait()
-	}
-	if cs.down {
-		return clock
-	}
-	return cs.prev
-}
-
-// abort wakes every waiter and makes all future rendezvous non-blocking.
-func (cs *collSync) abort() {
-	cs.mu.Lock()
-	cs.down = true
-	cs.cond.Broadcast()
-	cs.mu.Unlock()
-}
-
 // logP returns ceil(log2(P)), minimum 1.
 func (w *World) logP() float64 {
 	if w.P <= 1 {
@@ -345,9 +339,10 @@ func (w *World) logP() float64 {
 
 // collective aligns all ranks on the latest arrival, then charges cost ns.
 func (c *Comm) collective(op string, cost float64) {
+	c.checkAbort()
 	c.callHook(op)
 	before := c.clock
-	max := c.world.coll.arrive(c.clock)
+	max := c.world.sched.arrive(c)
 	c.clock = max + int64(cost)
 	c.CommNS += c.clock - before
 }
@@ -382,8 +377,9 @@ func (c *Comm) Alltoall(bytesPerPair int64) {
 }
 
 // SendRecv performs a blocking exchange with the two peers: sends to dst and
-// receives from src (the classic halo-exchange primitive). It uses the
-// non-blocking forms internally so opposing pairs cannot deadlock.
+// receives from src (the classic halo-exchange primitive). Sends are
+// non-blocking against unbounded queues, so opposing pairs cannot deadlock
+// no matter how many exchanges are in flight.
 func (c *Comm) SendRecv(dst, src, tag int, bytes int64, data []byte) []byte {
 	c.callHook("SendRecv")
 	c.send(dst, tag, bytes, data)

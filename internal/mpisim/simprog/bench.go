@@ -1,0 +1,249 @@
+package simprog
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"unimem/internal/machine"
+)
+
+// This file is the `unimem-bench -bench` harness: micro and macro MPI
+// benchmarks runnable on both engines, measured as worlds/sec (throughput),
+// ns/world (latency), allocs/world (the retired engine's ranks² mailbox
+// matrix shows up here), and worlds/sec/core (worlds divided by process
+// CPU seconds — the honest cross-engine metric, since the oracle engine
+// spreads one world across many cores while the event core uses one).
+// The macro benches are comm skeletons of NPB CG/SP/MG at the mpisim
+// layer: the message pattern, sizes and compute skew of each kernel's
+// iteration loop, without the cost-model stack above it.
+
+// BenchResult is one measured (benchmark, engine) cell.
+type BenchResult struct {
+	Name                string  `json:"name"`
+	Engine              string  `json:"engine"`
+	Ranks               int     `json:"ranks"`
+	Worlds              int     `json:"worlds"`
+	WallNS              int64   `json:"wall_ns"`
+	CPUNS               int64   `json:"cpu_ns"`
+	NSPerWorld          float64 `json:"ns_per_world"`
+	WorldsPerSec        float64 `json:"worlds_per_sec"`
+	WorldsPerSecPerCore float64 `json:"worlds_per_sec_per_core"`
+	AllocsPerWorld      float64 `json:"allocs_per_world"`
+	BytesPerWorld       float64 `json:"bytes_per_world"`
+}
+
+// BenchDoc is the BENCH_mpisim.json document: the repo's first perf
+// trajectory artifact. "oracle" rows are the retired goroutine engine
+// (the before), "event" rows the discrete-event core (the after).
+type BenchDoc struct {
+	Schema              int                `json:"schema"`
+	Quick               bool               `json:"quick"`
+	GOMAXPROCS          int                `json:"gomaxprocs"`
+	Note                string             `json:"note"`
+	Results             []BenchResult      `json:"results"`
+	SpeedupPerCore      map[string]float64 `json:"speedup_event_vs_oracle_per_core"`
+	SpeedupWallPerWorld map[string]float64 `json:"speedup_event_vs_oracle_wall"`
+}
+
+// benchSpec is one benchmark's shape.
+type benchSpec struct {
+	name   string
+	ranks  int
+	worlds int // full-mode world count; quick mode divides by 4 (min 1)
+	body   func(Comm)
+	// oracleOK gates the reference engine: its NewWorld allocates a
+	// ranks²×1024-slot mailbox matrix (~48 KB per pair), so beyond a few
+	// hundred ranks the allocation alone exceeds memory.
+	oracleOK bool
+}
+
+// Benchmarks returns the standard suite: micro ping-pong, allreduce at
+// 64/1k/10k ranks (the 10k row is the scale gate CI enforces), and the
+// CG/SP/MG macro skeletons.
+func Benchmarks() []benchSpec {
+	return []benchSpec{
+		{name: "pingpong", ranks: 2, worlds: 200, body: pingPongBody(1000), oracleOK: true},
+		{name: "allreduce@64", ranks: 64, worlds: 40, body: allreduceBody(50), oracleOK: true},
+		{name: "allreduce@1k", ranks: 1024, worlds: 8, body: allreduceBody(20), oracleOK: false},
+		{name: "allreduce@10k", ranks: 10_000, worlds: 2, body: allreduceBody(5), oracleOK: false},
+		{name: "CG", ranks: 16, worlds: 60, body: cgBody(60), oracleOK: true},
+		{name: "SP", ranks: 16, worlds: 60, body: spBody(40), oracleOK: true},
+		{name: "MG", ranks: 16, worlds: 60, body: mgBody(40), oracleOK: true},
+	}
+}
+
+// RunBenchSuite measures every benchmark on the event engine and, where
+// feasible, the oracle engine. logf (optional) receives per-cell progress.
+// The allreduce@10k cell doubles as the scale gate: if a 10k-rank world
+// cannot complete, the suite errors out.
+func RunBenchSuite(quick bool, logf func(format string, args ...interface{})) (*BenchDoc, error) {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	m := machine.PlatformA()
+	doc := &BenchDoc{
+		Schema:     1,
+		Quick:      quick,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "oracle = retired goroutine-per-rank engine (before); event = discrete-event core (after); " +
+			"per-core throughput divides by process CPU time",
+		SpeedupPerCore:      map[string]float64{},
+		SpeedupWallPerWorld: map[string]float64{},
+	}
+	for _, b := range Benchmarks() {
+		worlds := b.worlds
+		if quick {
+			if worlds /= 4; worlds < 1 {
+				worlds = 1
+			}
+		}
+		ev, err := measure(b.name, Event, b.ranks, m, worlds, b.body)
+		if err != nil {
+			return nil, err
+		}
+		logf("  bench %-14s %-6s %5d ranks: %8.1f worlds/sec (%.0f/sec/core, %.0f allocs/world)",
+			b.name, Event.Name(), b.ranks, ev.WorldsPerSec, ev.WorldsPerSecPerCore, ev.AllocsPerWorld)
+		doc.Results = append(doc.Results, ev)
+		if !b.oracleOK {
+			continue
+		}
+		or, err := measure(b.name, Oracle, b.ranks, m, worlds, b.body)
+		if err != nil {
+			return nil, err
+		}
+		logf("  bench %-14s %-6s %5d ranks: %8.1f worlds/sec (%.0f/sec/core, %.0f allocs/world)",
+			b.name, Oracle.Name(), b.ranks, or.WorldsPerSec, or.WorldsPerSecPerCore, or.AllocsPerWorld)
+		doc.Results = append(doc.Results, or)
+		if or.WorldsPerSecPerCore > 0 {
+			doc.SpeedupPerCore[b.name] = round2(ev.WorldsPerSecPerCore / or.WorldsPerSecPerCore)
+		}
+		if ev.NSPerWorld > 0 {
+			doc.SpeedupWallPerWorld[b.name] = round2(or.NSPerWorld / ev.NSPerWorld)
+		}
+	}
+	return doc, nil
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+
+// measure runs `worlds` sequential worlds of the benchmark and accounts
+// wall time, process CPU time, and heap allocation deltas.
+func measure(name string, e Engine, ranks int, m *machine.Machine, worlds int, body func(Comm)) (r BenchResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("bench %s on %s engine: %v", name, e.Name(), p)
+		}
+	}()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	cpu0 := processCPUNS()
+	t0 := time.Now()
+	for i := 0; i < worlds; i++ {
+		e.Run(ranks, m, body)
+	}
+	wall := time.Since(t0).Nanoseconds()
+	cpu := processCPUNS() - cpu0
+	runtime.ReadMemStats(&after)
+	r = BenchResult{
+		Name:           name,
+		Engine:         e.Name(),
+		Ranks:          ranks,
+		Worlds:         worlds,
+		WallNS:         wall,
+		CPUNS:          cpu,
+		NSPerWorld:     float64(wall) / float64(worlds),
+		AllocsPerWorld: float64(after.Mallocs-before.Mallocs) / float64(worlds),
+		BytesPerWorld:  float64(after.TotalAlloc-before.TotalAlloc) / float64(worlds),
+	}
+	if wall > 0 {
+		r.WorldsPerSec = float64(worlds) / (float64(wall) / 1e9)
+	}
+	if cpu > 0 {
+		r.WorldsPerSecPerCore = float64(worlds) / (float64(cpu) / 1e9)
+	}
+	return r, nil
+}
+
+// pingPongBody bounces a 4 KB message between two ranks.
+func pingPongBody(iters int) func(Comm) {
+	return func(c Comm) {
+		peer := 1 - c.Rank()
+		for i := 0; i < iters; i++ {
+			if c.Rank() == 0 {
+				c.Send(peer, 1, 4096, nil)
+				c.Recv(peer, 2)
+			} else {
+				c.Recv(peer, 1)
+				c.Send(peer, 2, 4096, nil)
+			}
+		}
+	}
+}
+
+// allreduceBody is a skewed compute + scalar allreduce loop — the
+// collective-rendezvous stress at any world size.
+func allreduceBody(iters int) func(Comm) {
+	return func(c Comm) {
+		for i := 0; i < iters; i++ {
+			c.Advance(int64(1_000 * (c.Rank()%7 + 1)))
+			c.Allreduce(8)
+		}
+	}
+}
+
+// cgBody: CG's iteration loop shape — a transpose exchange with a
+// power-of-two partner, then the two dot-product allreduces.
+func cgBody(iters int) func(Comm) {
+	return func(c Comm) {
+		p := c.Size()
+		partner := c.Rank() ^ (p / 2)
+		for i := 0; i < iters; i++ {
+			c.Advance(40_000)
+			c.SendRecv(partner, partner, 31, 14_000, nil)
+			c.Advance(20_000)
+			c.Allreduce(8)
+			c.Allreduce(8)
+		}
+	}
+}
+
+// spBody: SP's ADI sweeps — three directional face exchanges per
+// iteration, non-blocking both ways.
+func spBody(iters int) func(Comm) {
+	return func(c Comm) {
+		p := c.Size()
+		for i := 0; i < iters; i++ {
+			for _, stride := range []int{1, 4} {
+				right := (c.Rank() + stride) % p
+				left := (c.Rank() - stride + p) % p
+				out := c.Isend(right, 41, 60_000, nil)
+				in := c.Irecv(left, 41)
+				c.Advance(80_000)
+				out.Wait()
+				in.Wait()
+			}
+			c.Advance(120_000)
+		}
+	}
+}
+
+// mgBody: MG's V-cycle — halo exchanges shrinking by level, a residual
+// allreduce at the coarsest grid.
+func mgBody(iters int) func(Comm) {
+	return func(c Comm) {
+		p := c.Size()
+		for i := 0; i < iters; i++ {
+			bytes := int64(32_768)
+			for level := 0; level < 4; level++ {
+				right := (c.Rank() + 1) % p
+				left := (c.Rank() - 1 + p) % p
+				c.SendRecv(right, left, 50+level, bytes, nil)
+				c.Advance(30_000 >> level)
+				bytes /= 4
+			}
+			c.Allreduce(8)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package simprog
+
+// processCPUNS is unavailable off unix; per-core throughput falls back to
+// zero and consumers report wall-clock numbers only.
+func processCPUNS() int64 { return 0 }

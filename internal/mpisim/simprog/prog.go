@@ -1,0 +1,222 @@
+package simprog
+
+import (
+	"fmt"
+
+	"unimem/internal/machine"
+	"unimem/internal/xrand"
+)
+
+// OpKind enumerates the engine-neutral program vocabulary.
+type OpKind uint8
+
+const (
+	OpAdvance OpKind = iota
+	OpSend
+	OpRecv
+	OpIsend
+	OpIrecv
+	OpWait
+	OpSendRecv
+	OpBarrier
+	OpAllreduce
+	OpBcast
+	OpReduce
+	OpAlltoall
+)
+
+// Op is one rank-program step.
+type Op struct {
+	Kind  OpKind
+	Peer  int // Send/Isend: dst; Recv/Irecv: src; SendRecv: dst
+	Peer2 int // SendRecv: src
+	Tag   int
+	Bytes int64
+	Dur   int64 // OpAdvance
+	Slot  int   // request slot: set by Isend/Irecv, consumed by Wait
+	Data  []byte
+}
+
+// Program is a per-rank op-list program on a P-rank world. Programs built
+// by Generate are deadlock-free by construction and keep in-flight
+// messages per rank pair far below the oracle engine's 1024-slot mailbox,
+// so they are valid on both engines.
+type Program struct {
+	P     int
+	Ranks [][]Op
+}
+
+// RankTrace is one rank's observable outcome: the virtual-clock state the
+// differential suite pins, plus every received payload in completion
+// order (message-loss and ordering evidence).
+type RankTrace struct {
+	Clock  int64
+	CommNS int64
+	Recvd  [][]byte
+}
+
+// Run executes the program on the given engine and returns one trace per
+// rank.
+func (pr *Program) Run(e Engine, m *machine.Machine) []RankTrace {
+	traces := make([]RankTrace, pr.P)
+	e.Run(pr.P, m, func(c Comm) {
+		r := c.Rank()
+		tr := &traces[r]
+		slots := map[int]Waiter{}
+		slotIsRecv := map[int]bool{}
+		for _, op := range pr.Ranks[r] {
+			switch op.Kind {
+			case OpAdvance:
+				c.Advance(op.Dur)
+			case OpSend:
+				c.Send(op.Peer, op.Tag, op.Bytes, op.Data)
+			case OpRecv:
+				tr.Recvd = append(tr.Recvd, c.Recv(op.Peer, op.Tag))
+			case OpIsend:
+				slots[op.Slot] = c.Isend(op.Peer, op.Tag, op.Bytes, op.Data)
+			case OpIrecv:
+				slots[op.Slot] = c.Irecv(op.Peer, op.Tag)
+				slotIsRecv[op.Slot] = true
+			case OpWait:
+				w, ok := slots[op.Slot]
+				if !ok {
+					panic(fmt.Sprintf("simprog: rank %d waits on unknown slot %d", r, op.Slot))
+				}
+				delete(slots, op.Slot)
+				data := w.Wait()
+				if slotIsRecv[op.Slot] {
+					tr.Recvd = append(tr.Recvd, data)
+					delete(slotIsRecv, op.Slot)
+				}
+			case OpSendRecv:
+				tr.Recvd = append(tr.Recvd, c.SendRecv(op.Peer, op.Peer2, op.Tag, op.Bytes, op.Data))
+			case OpBarrier:
+				c.Barrier()
+			case OpAllreduce:
+				c.Allreduce(op.Bytes)
+			case OpBcast:
+				c.Bcast(op.Bytes)
+			case OpReduce:
+				c.Reduce(op.Bytes)
+			case OpAlltoall:
+				c.Alltoall(op.Bytes)
+			default:
+				panic(fmt.Sprintf("simprog: unknown op kind %d", op.Kind))
+			}
+		}
+		tr.Clock = c.Clock()
+		tr.CommNS = c.CommNS()
+	})
+	return traces
+}
+
+// payload stamps a unique, checkable message body.
+func payload(src, round, seq int) []byte {
+	return []byte(fmt.Sprintf("m%d.%d.%d", src, round, seq))
+}
+
+// Generate builds a seeded random program: rounds of skewed compute,
+// ring exchanges (blocking and non-blocking), tag-shuffled bursts that
+// exercise the reorder buffer, opposing SendRecv exchanges, and random
+// collectives — the mixed traffic the differential suite replays on both
+// engines.
+func Generate(seed uint64, p, rounds int) *Program {
+	rng := xrand.New(seed)
+	pr := &Program{P: p, Ranks: make([][]Op, p)}
+	slot := 0
+	for round := 0; round < rounds; round++ {
+		switch rng.Intn(6) {
+		case 0: // skewed local compute
+			for r := 0; r < p; r++ {
+				pr.Ranks[r] = append(pr.Ranks[r], Op{Kind: OpAdvance, Dur: rng.Int63n(5_000_000)})
+			}
+		case 1: // non-blocking ring exchange, waits in random order
+			tag := 100 + rng.Intn(8)
+			bytes := 1 + rng.Int63n(1<<16)
+			for r := 0; r < p; r++ {
+				right := (r + 1) % p
+				left := (r - 1 + p) % p
+				sOut, sIn := slot, slot+1
+				ops := []Op{
+					{Kind: OpIsend, Peer: right, Tag: tag, Bytes: bytes, Slot: sOut, Data: payload(r, round, 0)},
+					{Kind: OpIrecv, Peer: left, Tag: tag, Slot: sIn},
+				}
+				if rng.Intn(2) == 0 {
+					ops = append(ops, Op{Kind: OpWait, Slot: sOut}, Op{Kind: OpWait, Slot: sIn})
+				} else {
+					ops = append(ops, Op{Kind: OpWait, Slot: sIn}, Op{Kind: OpWait, Slot: sOut})
+				}
+				pr.Ranks[r] = append(pr.Ranks[r], ops...)
+			}
+			slot += 2
+		case 2: // tag-shuffled burst between random disjoint pairs
+			perm := rng.Perm(p)
+			for i := 0; i+1 < len(perm); i += 2 {
+				src, dst := perm[i], perm[i+1]
+				n := 2 + rng.Intn(6)
+				tags := make([]int, n)
+				sizes := make([]int64, n)
+				for k := 0; k < n; k++ {
+					tags[k] = rng.Intn(3) // few tags: force reorder-buffer hits
+					sizes[k] = 1 + rng.Int63n(1<<12)
+					pr.Ranks[src] = append(pr.Ranks[src], Op{
+						Kind: OpSend, Peer: dst, Tag: tags[k], Bytes: sizes[k],
+						Data: payload(src, round, k),
+					})
+				}
+				// Receive the same tag multiset in shuffled completion
+				// order, mixing blocking receives with out-of-order
+				// Irecv/Wait completion.
+				order := rng.Perm(n)
+				var waits []Op
+				for _, k := range order {
+					if rng.Intn(3) == 0 {
+						s := slot
+						slot++
+						pr.Ranks[dst] = append(pr.Ranks[dst], Op{Kind: OpIrecv, Peer: src, Tag: tags[k], Slot: s})
+						waits = append(waits, Op{Kind: OpWait, Slot: s})
+					} else {
+						pr.Ranks[dst] = append(pr.Ranks[dst], Op{Kind: OpRecv, Peer: src, Tag: tags[k]})
+					}
+				}
+				// Complete outstanding Irecvs LIFO: latest posted finishes
+				// first.
+				for j := len(waits) - 1; j >= 0; j-- {
+					pr.Ranks[dst] = append(pr.Ranks[dst], waits[j])
+				}
+			}
+		case 3: // opposing SendRecv halo exchanges
+			reps := 1 + rng.Intn(3)
+			tag := 200 + rng.Intn(4)
+			bytes := 1 + rng.Int63n(1<<14)
+			for rep := 0; rep < reps; rep++ {
+				for r := 0; r < p; r++ {
+					right := (r + 1) % p
+					left := (r - 1 + p) % p
+					pr.Ranks[r] = append(pr.Ranks[r], Op{
+						Kind: OpSendRecv, Peer: right, Peer2: left, Tag: tag, Bytes: bytes,
+						Data: payload(r, round, rep),
+					})
+				}
+			}
+		case 4: // random collective
+			kind := []OpKind{OpBarrier, OpAllreduce, OpBcast, OpReduce, OpAlltoall}[rng.Intn(5)]
+			bytes := 1 + rng.Int63n(1<<16)
+			for r := 0; r < p; r++ {
+				pr.Ranks[r] = append(pr.Ranks[r], Op{Kind: kind, Bytes: bytes})
+			}
+		case 5: // skew + barrier (collective clock alignment under imbalance)
+			for r := 0; r < p; r++ {
+				pr.Ranks[r] = append(pr.Ranks[r],
+					Op{Kind: OpAdvance, Dur: rng.Int63n(2_000_000)},
+					Op{Kind: OpBarrier})
+			}
+		}
+	}
+	return pr
+}
+
+// PlatformFor returns the machine model differential runs use (the
+// paper's Platform A — any would do; the clock math only needs the
+// network terms).
+func PlatformFor() *machine.Machine { return machine.PlatformA() }

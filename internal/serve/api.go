@@ -130,11 +130,13 @@ type WorkloadReq struct {
 // npbClasses are the accepted NPB problem classes.
 var npbClasses = map[string]bool{"A": true, "B": true, "C": true, "D": true}
 
-// maxRanks caps any request-supplied world size. Each simulated rank is a
-// goroutine and the MPI world's mailbox matrix is ranks^2 channels — an
-// untrusted "ranks" must not size that. 512 is far beyond the paper's
-// scales (4-64) while keeping the allocation trivially safe.
-const maxRanks = 512
+// maxRanks caps any request-supplied world size. The event-driven
+// simulator core is O(ranks) per world (sparse message queues — the old
+// engine's ranks² mailbox matrix forced a 512 cap here), and a 10k-rank
+// world completes in well under a second, so the cap now only bounds the
+// per-rank harness state (a simulated heap and a parked coroutine each)
+// an untrusted request can make one daemon allocate.
+const maxRanks = 16384
 
 // checkRanks validates one request-supplied world size (0 means "use the
 // default", negatives would panic the simulator's world constructor).
