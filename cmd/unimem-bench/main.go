@@ -16,19 +16,25 @@
 //	unimem-bench -exp table4 -csv out.csv
 //	unimem-bench -exp scenariofleet -quick -fleet 8 -parallel
 //	unimem-bench -exp all -parallel -timeout 10m
-//	unimem-bench -bench -quick -bench-out BENCH_mpisim.json
+//	unimem-bench -bench mpisim -quick -bench-out BENCH_mpisim.json
+//	unimem-bench -bench serve -quick -bench-out BENCH_serve.json
 //
 // -timeout bounds the whole run: on expiry, in-flight simulated worlds
 // abort, the partial cache statistics are printed to stderr, and the
 // process exits nonzero.
 //
-// -bench switches to the simulator micro/macro benchmark mode: it runs
-// ping-pong, allreduce at 64/1k/10k ranks and the CG/SP/MG comm skeletons
-// on the event-driven mpisim core and (where its ranks² allocation is
-// feasible) the retired goroutine oracle engine, and writes the
-// before/after comparison to -bench-out as JSON — the repo's perf
+// -bench mpisim switches to the simulator micro/macro benchmark mode: it
+// runs ping-pong, allreduce at 64/1k/10k ranks and the CG/SP/MG comm
+// skeletons on the event-driven mpisim core and (where its ranks²
+// allocation is feasible) the retired goroutine oracle engine, and writes
+// the before/after comparison to -bench-out as JSON — the repo's perf
 // trajectory artifact. A 10k-rank world that cannot complete fails the
 // run, which is the scale gate CI enforces.
+//
+// -bench serve measures the HTTP observability layer's request-path
+// overhead: matched cache-hit request storms against a metrics-disabled
+// and a metrics-enabled server, reported as a relative slowdown — the
+// ≤2% budget artifact (BENCH_serve.json).
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 
 	"unimem/internal/exp"
 	"unimem/internal/mpisim/simprog"
+	"unimem/internal/serve"
 )
 
 // summary is the machine-readable run report of the JSON output mode.
@@ -66,36 +73,61 @@ type document struct {
 	Summary summary      `json:"summary"`
 }
 
-// runBenchMode runs the mpisim micro/macro benchmarks on both engines and
-// writes the before/after JSON document. Progress goes to stderr; stdout
-// stays silent (the experiment-golden discipline).
-func runBenchMode(quick bool, out string) int {
-	start := time.Now()
-	doc, err := simprog.RunBenchSuite(quick, func(format string, args ...interface{}) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
+// writeBenchDoc encodes a benchmark document to out ("-" for stdout).
+func writeBenchDoc(doc interface{}, out string) error {
 	f := os.Stdout
 	if out != "-" {
-		var ferr error
-		if f, ferr = os.Create(out); ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
-			return 1
+		var err error
+		if f, err = os.Create(out); err != nil {
+			return err
 		}
 		defer f.Close()
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+	return enc.Encode(doc)
+}
+
+// runBenchMode dispatches -bench: "mpisim" runs the simulator
+// micro/macro benchmarks on both engines, "serve" runs the HTTP
+// observability-overhead comparison. Progress goes to stderr; stdout
+// stays silent (the experiment-golden discipline).
+func runBenchMode(mode string, quick bool, out string) int {
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	fmt.Fprintf(os.Stderr, "%d benchmark cells in %v; per-core speedups event-vs-oracle: %v\n",
-		len(doc.Results), time.Since(start).Round(time.Millisecond), doc.SpeedupPerCore)
-	return 0
+	start := time.Now()
+	switch mode {
+	case "mpisim":
+		doc, err := simprog.RunBenchSuite(quick, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := writeBenchDoc(doc, out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "%d benchmark cells in %v; per-core speedups event-vs-oracle: %v\n",
+			len(doc.Results), time.Since(start).Round(time.Millisecond), doc.SpeedupPerCore)
+		return 0
+	case "serve":
+		doc, err := serve.RunServeBench(quick, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := writeBenchDoc(doc, out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "serve bench done in %v; metrics overhead %.2f%%\n",
+			time.Since(start).Round(time.Millisecond), doc.OverheadPct)
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -bench mode %q (want mpisim or serve)\n", mode)
+		return 2
+	}
 }
 
 func main() {
@@ -112,13 +144,17 @@ func main() {
 		jsonOut  = flag.String("json", "", "write results as JSON to this file ('-' for stdout, suppressing tables)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0: no limit)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
-		bench    = flag.Bool("bench", false, "run the mpisim engine benchmarks instead of experiments")
-		benchOut = flag.String("bench-out", "BENCH_mpisim.json", "benchmark JSON destination for -bench")
+		bench    = flag.String("bench", "", "benchmark mode instead of experiments: 'mpisim' (engine) or 'serve' (HTTP observability overhead)")
+		benchOut = flag.String("bench-out", "", "benchmark JSON destination for -bench (default BENCH_<mode>.json)")
 	)
 	flag.Parse()
 
-	if *bench {
-		os.Exit(runBenchMode(*quick, *benchOut))
+	if *bench != "" {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_" + *bench + ".json"
+		}
+		os.Exit(runBenchMode(*bench, *quick, out))
 	}
 
 	order, reg := exp.Registry()

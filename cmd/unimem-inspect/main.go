@@ -14,6 +14,7 @@
 //	unimem-inspect -workload MG -platform knl
 //	unimem-inspect -scenario drift.json -nvm lat4
 //	unimem-inspect -gen hot-rotation -seed 7
+//	unimem-inspect -workload CG -trace out.json   (Chrome trace of the run)
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		nvm      = flag.String("nvm", "halfbw", "NVM config for -platform a: halfbw|quarterbw|lat2|lat4|edison")
 		platform = flag.String("platform", "a", "platform: a (paper two-tier)|knl|cxl|hbm-ddr-nvm")
 		dram     = flag.Int64("dram-mb", 0, "fastest-tier capacity in MiB (0: platform default; two-tier default 256)")
+		traceOut = flag.String("trace", "", "write the Unimem run's span timeline as Chrome trace-event JSON to this file (open in chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -142,9 +144,24 @@ func main() {
 	slowOut, err := sess.Run(ctx, w, unimem.SlowestOnly())
 	check(err)
 	slowRes := slowOut.Result
-	uniOut, err := sess.Run(ctx, w, unimem.Unimem())
+	var tr *unimem.Trace
+	if *traceOut != "" {
+		tr = unimem.NewTrace()
+	}
+	uniOut, err := sess.RunJob(ctx, unimem.Job{
+		Workload: w,
+		Strategy: unimem.Unimem(),
+		Options:  unimem.Options{Trace: tr},
+	})
 	check(err)
 	res, rts := uniOut.Tiered(), uniOut.Runtimes
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(tr.WriteChrome(f))
+		check(f.Close())
+		fmt.Printf("trace    %s (%d events)\n\n", *traceOut, len(tr.Events()))
+	}
 
 	norm := func(t int64) float64 { return float64(t) / float64(fastRes.TimeNS) }
 	fmt.Printf("%-14s %12s %8s\n", "run", "time", "vs fast")

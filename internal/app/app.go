@@ -20,6 +20,7 @@ import (
 	"unimem/internal/machine"
 	"unimem/internal/memsys"
 	"unimem/internal/mpisim"
+	"unimem/internal/obs"
 	"unimem/internal/phase"
 	"unimem/internal/workloads"
 )
@@ -31,6 +32,10 @@ type RankCtx struct {
 	Heap *memsys.Heap
 	Comm *mpisim.Comm
 	W    *workloads.Workload
+	// Trace, when non-nil, receives span events from the harness and the
+	// manager (phases, placement solves, migrations) against the rank's
+	// virtual clock. Nil in normal runs; never affects simulated time.
+	Trace *obs.Trace
 }
 
 // Manager is a data-placement policy driving one rank's heap. The harness
@@ -66,6 +71,11 @@ type Options struct {
 	// ChunkSize overrides the default partition granularity.
 	ChunkSize int64
 	Seed      uint64
+	// Trace, when non-nil, records a per-run span timeline (setup, each
+	// iteration and phase on rank 0, manager decisions, migrations) for
+	// Chrome trace-event export. Tracing never changes simulated time or
+	// results; it is excluded from run-cache keys.
+	Trace *obs.Trace
 }
 
 func (o *Options) fill(w *workloads.Workload) {
@@ -189,13 +199,23 @@ func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts
 			DefaultChunkSize: opts.ChunkSize,
 		})
 		rc := &RankCtx{Rank: rank, Mach: m, Heap: heap, Comm: c, W: w}
+		if rank == 0 {
+			// Rank 0 is the traced rank: one representative timeline
+			// instead of P near-identical ones.
+			rc.Trace = opts.Trace
+		}
 		mgr := mf(rank)
 		if rank == 0 {
 			res.Manager = mgr.Name()
 		}
+		setupStart := c.Clock()
 		if err := mgr.Setup(rc); err != nil {
 			errs[rank] = fmt.Errorf("rank %d setup: %w", rank, err)
 			return
+		}
+		if rc.Trace != nil {
+			rc.Trace.Span(obs.Virtual, rank, "setup", "harness", setupStart, c.Clock(),
+				map[string]any{"manager": mgr.Name(), "workload": w.Name})
 		}
 		loopEnded := false
 		endLoop := func() {
@@ -219,6 +239,7 @@ func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts
 		}()
 		mgr.LoopStart(rc)
 		for iter := 0; iter < w.Iterations; iter++ {
+			iterStart := c.Clock()
 			for pi := range w.Phases {
 				// Ranks may notice the abort at different phases (the
 				// phase-boundary check here) or mid-operation (the
@@ -230,6 +251,7 @@ func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts
 					return
 				}
 				ph := &w.Phases[pi]
+				beginAt := c.Clock()
 				mgr.PhaseBegin(rc, ph.Name, ph.Kind, ph.Comm.String())
 
 				start := c.Clock()
@@ -248,6 +270,17 @@ func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts
 					phaseCount[pi]++
 				}
 				mgr.PhaseEnd(rc, dur, traffic)
+				if rc.Trace != nil {
+					// The span covers PhaseBegin through PhaseEnd, so
+					// manager-charged stalls and profiling overhead show
+					// up inside the phase they were charged to.
+					rc.Trace.Span(obs.Virtual, rank, ph.Name, "phase", beginAt, c.Clock(),
+						map[string]any{"iter": iter, "kind": ph.Kind.String(), "comm": ph.Comm.String()})
+				}
+			}
+			if rc.Trace != nil {
+				rc.Trace.Span(obs.Virtual, rank, fmt.Sprintf("iteration %d", iter), "iteration",
+					iterStart, c.Clock(), nil)
 			}
 		}
 		endLoop()

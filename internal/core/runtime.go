@@ -29,6 +29,7 @@ import (
 	"unimem/internal/memsys"
 	"unimem/internal/model"
 	"unimem/internal/mover"
+	"unimem/internal/obs"
 	"unimem/internal/phase"
 	"unimem/internal/placement"
 )
@@ -223,6 +224,18 @@ func (r *Runtime) Setup(ctx *app.RankCtx) error {
 	r.heap = ctx.Heap
 	r.sampler = counters.NewSampler(ctx.Mach, r.cfg.Counters, r.cfg.Seed^uint64(r.rank)*0x9E37)
 	r.mov = mover.New(ctx.Heap)
+	if tr := ctx.Trace; tr != nil {
+		rank := r.rank
+		r.mov.SetObserver(func(c mover.Completion) {
+			if c.Err != nil {
+				tr.Instant(obs.Virtual, rank, "migration failed", "mover", c.StartNS,
+					map[string]any{"chunk": c.Req.Chunk.Name(), "error": c.Err.Error()})
+				return
+			}
+			tr.Span(obs.Virtual, rank, "migrate "+c.Req.Chunk.Name(), "mover", c.StartNS, c.EndNS,
+				map[string]any{"from": c.From.String(), "to": c.Req.To.String(), "bytes": c.BytesMoved})
+		})
+	}
 	r.mov.Start()
 	r.reg = phase.NewRegistry()
 
@@ -453,6 +466,10 @@ func (r *Runtime) PhaseEnd(ctx *app.RankCtx, durNS float64, traffic []counters.C
 	if rel > r.cfg.VariationThreshold && !r.reprofileNext {
 		r.reprofileNext = true
 		r.ReprofileIters = append(r.ReprofileIters, r.reg.Iter())
+		if ctx.Trace != nil {
+			ctx.Trace.Instant(obs.Virtual, r.rank, "reprofile scheduled", "unimem",
+				ctx.Comm.Clock(), map[string]any{"iter": r.reg.Iter(), "variation": rel})
+		}
 	}
 }
 
@@ -512,8 +529,14 @@ func (r *Runtime) decide(ctx *app.RankCtx) {
 	// critical path (part of "pure runtime cost").
 	capUnits := int(ctx.Mach.Fastest().CapacityBytes >> 20)
 	modelNS := float64(modelOps)*200 + float64(capUnits*len(r.chunkSize))*20
+	decideAt := ctx.Comm.Clock()
 	ctx.Comm.Advance(int64(modelNS))
 	r.overheadNS += modelNS
+	if ctx.Trace != nil {
+		ctx.Trace.Span(obs.Virtual, r.rank, "placement decision", "unimem", decideAt, ctx.Comm.Clock(),
+			map[string]any{"solver": string(r.plan.Strategy), "model_ops": modelOps,
+				"decision": r.Decisions, "adoption_moves": len(r.plan.Adoption)})
+	}
 
 	// Rebaseline the variation monitor: durations will shift under the new
 	// placement.
@@ -651,8 +674,14 @@ func (r *Runtime) decideTiered(ctx *app.RankCtx) {
 	// evaluated (the 2D DP's state space is the capacity product, not the
 	// sum), charged to the critical path like the two-tier decision.
 	modelNS := float64(modelOps)*200 + float64(r.tierPlan.Work)*20
+	decideAt := ctx.Comm.Clock()
 	ctx.Comm.Advance(int64(modelNS))
 	r.overheadNS += modelNS
+	if ctx.Trace != nil {
+		ctx.Trace.Span(obs.Virtual, r.rank, "placement decision", "unimem", decideAt, ctx.Comm.Clock(),
+			map[string]any{"solver": r.tierPlan.Solver, "model_ops": modelOps,
+				"decision": r.Decisions, "tiers": nTiers})
+	}
 
 	// Rebaseline the variation monitor.
 	r.decisionIter = r.reg.Iter()

@@ -222,8 +222,17 @@ func isCtxErr(err error) bool {
 // position; a completed insertion may evict least-recently-used completed
 // entries past the shard budget.
 func (c *RunCache) Do(ctx context.Context, key RunKey, run func() (*app.Result, error)) (*app.Result, error) {
+	res, _, err := c.DoInfo(ctx, key, run)
+	return res, err
+}
+
+// DoInfo is Do reporting whether the result was served from a memoized
+// (or in-flight) entry — the per-request hit/miss attribution the serve
+// layer's latency histograms label by.
+func (c *RunCache) DoInfo(ctx context.Context, key RunKey, run func() (*app.Result, error)) (*app.Result, bool, error) {
 	if c == nil {
-		return run()
+		res, err := run()
+		return res, false, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -238,20 +247,20 @@ func (c *RunCache) Do(ctx context.Context, key RunKey, run func() (*app.Result, 
 			select {
 			case <-e.done:
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, false, ctx.Err()
 			}
 			if isCtxErr(e.err) {
 				// The executor was cancelled and the entry dropped; retry under
 				// our own context (which may itself be dead by now).
 				if err := ctx.Err(); err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				continue
 			}
 			sh.mu.Lock()
 			sh.hits++
 			sh.mu.Unlock()
-			return e.res, e.err
+			return e.res, true, e.err
 		}
 		e := &cacheEntry{key: key, done: make(chan struct{})}
 		sh.entries[key] = e
@@ -283,7 +292,7 @@ func (c *RunCache) Do(ctx context.Context, key RunKey, run func() (*app.Result, 
 		}
 		sh.mu.Unlock()
 		close(e.done)
-		return e.res, e.err
+		return e.res, false, e.err
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"unimem/internal/app"
 	"unimem/internal/core"
@@ -34,6 +36,12 @@ type Engine struct {
 	// per-entry Once gives singleflight semantics per calibKey.
 	calibMu sync.Mutex
 	calib   map[calibKey]*calibEntry
+
+	// poolQueued/poolRunning gauge the ForEach worker pool for the
+	// observability layer: jobs accepted but not yet dispatched, and jobs
+	// currently executing.
+	poolQueued  atomic.Int64
+	poolRunning atomic.Int64
 }
 
 // calibKey identifies one platform measurement: the machine's performance
@@ -114,7 +122,24 @@ func (e *Engine) Calibration(m *machine.Machine, cc counters.Config, seed uint64
 // slot semantics and context cancellation (see forEachRow); exported for
 // the Session's batch APIs so one scheduler serves both consumers.
 func (e *Engine) ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
-	return forEachRow(ctx, workers, n, fn)
+	e.poolQueued.Add(int64(n))
+	var dispatched atomic.Int64
+	err := forEachRow(ctx, workers, n, func(i int) error {
+		dispatched.Add(1)
+		e.poolQueued.Add(-1)
+		e.poolRunning.Add(1)
+		defer e.poolRunning.Add(-1)
+		return fn(i)
+	})
+	// Jobs a cancelled fan-out never dispatched are no longer queued.
+	e.poolQueued.Add(dispatched.Load() - int64(n))
+	return err
+}
+
+// PoolStats reports the worker pool's current depth: jobs queued (accepted
+// by ForEach but not yet dispatched) and jobs running.
+func (e *Engine) PoolStats() (queued, running int64) {
+	return e.poolQueued.Load(), e.poolRunning.Load()
 }
 
 // Execute runs workload w on machine m under the strategy, bounded by ctx.
@@ -128,34 +153,68 @@ func (e *Engine) ForEach(ctx context.Context, workers, n int, fn func(i int) err
 // (seed cfg.Seed^0xCA11B), so results are bit-identical to a per-rank
 // lazy calibration at a fraction of the cost.
 func (e *Engine) Execute(ctx context.Context, w *workloads.Workload, m *machine.Machine, st Strategy, cfg core.Config, opts app.Options) (*app.Result, []*core.Runtime, error) {
+	res, rts, _, err := e.ExecuteInfo(ctx, w, m, st, cfg, opts)
+	return res, rts, err
+}
+
+// ExecInfo reports execution metadata alongside a run's result.
+type ExecInfo struct {
+	// CacheHit is true when the result was served from a memoized (or
+	// in-flight) cache entry rather than a fresh execution. Always false
+	// for the Unimem strategy, which never caches.
+	CacheHit bool
+}
+
+// ExecuteInfo is Execute returning ExecInfo. When opts.Trace is set, the
+// engine records wall-clock spans for its stages (calibration, cache
+// lookup, the execution itself) alongside the virtual-clock spans the
+// harness and runtime record during the run.
+func (e *Engine) ExecuteInfo(ctx context.Context, w *workloads.Workload, m *machine.Machine, st Strategy, cfg core.Config, opts app.Options) (*app.Result, []*core.Runtime, ExecInfo, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var info ExecInfo
 	if !st.valid() {
-		return nil, nil, fmt.Errorf("exp: zero Strategy value (use one of the Strategy constructors)")
+		return nil, nil, info, fmt.Errorf("exp: zero Strategy value (use one of the Strategy constructors)")
 	}
 	quick, cache := e.snapshot()
 	w = e.prep(w, quick)
 	m = st.targetMachine(m)
+	tr := opts.Trace
 
 	if st.IsUnimem() {
 		if cfg.Calibration == (model.Calibration{}) {
+			calStart := time.Now()
 			cfg.Calibration = e.Calibration(m, cfg.Counters, cfg.Seed^0xCA11B)
+			if tr != nil {
+				tr.WallSpan(0, "calibration", "engine", calStart, nil)
+			}
 		}
 		col := NewCollector()
+		execStart := time.Now()
 		res, err := app.RunCtx(ctx, w, m, opts, col.Factory(cfg))
+		if tr != nil {
+			tr.WallSpan(0, "execute "+w.Name, "engine", execStart,
+				map[string]any{"strategy": st.cacheKey(), "cached": false})
+		}
 		// Runtimes are returned even on error: the already-created per-rank
 		// instances are the debugging handle a failed run leaves behind
 		// (and what the legacy wrappers always exposed).
-		return res, col.byRank(), err
+		return res, col.byRank(), info, err
 	}
 
-	res, err := cache.Do(ctx, keyFor(w, m, st.cacheKey(), opts), func() (*app.Result, error) {
+	execStart := time.Now()
+	res, hit, err := cache.DoInfo(ctx, keyFor(w, m, st.cacheKey(), opts), func() (*app.Result, error) {
 		mf, err := st.factory(ctx, w, m, opts)
 		if err != nil {
 			return nil, err
 		}
 		return app.RunCtx(ctx, w, m, opts, mf)
 	})
-	return res, nil, err
+	info.CacheHit = hit
+	if tr != nil {
+		tr.WallSpan(0, "execute "+w.Name, "engine", execStart,
+			map[string]any{"strategy": st.cacheKey(), "cached": hit})
+	}
+	return res, nil, info, err
 }

@@ -100,6 +100,17 @@ type Mover struct {
 	stats       Stats
 	running     bool
 	wg          sync.WaitGroup
+	observer    func(Completion)
+}
+
+// SetObserver registers a callback invoked (under the mover's lock, at
+// the deterministic apply points) for every completion — the tracing
+// hook that turns migrations into timeline spans. Must be set before
+// Start; nil disables. The callback must not call back into the Mover.
+func (m *Mover) SetObserver(fn func(Completion)) {
+	m.mu.Lock()
+	m.observer = fn
+	m.mu.Unlock()
 }
 
 // New returns a mover for the heap. Start must be called before Enqueue.
@@ -185,8 +196,12 @@ func (m *Mover) applyLocked(upto uint64) {
 			m.stats.BytesMoved += bytes
 		}
 		m.freeAtNS = end
-		m.completions[req.seq] = Completion{Req: req, From: from, StartNS: start, EndNS: end, BytesMoved: bytes, Err: err}
+		comp := Completion{Req: req, From: from, StartNS: start, EndNS: end, BytesMoved: bytes, Err: err}
+		m.completions[req.seq] = comp
 		m.doneSeq = req.seq
+		if m.observer != nil {
+			m.observer(comp)
+		}
 	}
 }
 

@@ -189,6 +189,7 @@ func (w *World) Run(body func(c *Comm)) {
 	}
 	s.start()
 	wg.Wait()
+	s.flushStats()
 	select {
 	case p := <-panics:
 		panic(p)

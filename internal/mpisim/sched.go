@@ -32,6 +32,14 @@ type sched struct {
 	runq  runHeap
 	live  int // ranks whose body has not returned
 	coll  collState
+
+	// Event-core tallies, mutated only by the owning coroutine and
+	// flushed to package atomics after the world completes (stats.go).
+	events       int64
+	collectives  int64
+	inboxScans   int64
+	inboxScanned int64
+	maxRunq      int64
 }
 
 // collState is the single in-flight collective rendezvous (MPI programs
@@ -61,6 +69,7 @@ func (s *sched) start() {
 		s.runq = append(s.runq, c)
 	}
 	heap.Init(&s.runq)
+	s.noteRunq()
 	s.dispatchNext()
 }
 
@@ -72,6 +81,7 @@ func (s *sched) dispatchNext() {
 	if len(s.runq) > 0 {
 		next := heap.Pop(&s.runq).(*Comm)
 		next.state = stRunning
+		s.events++
 		next.resume <- struct{}{}
 		return
 	}
@@ -167,6 +177,7 @@ func (c *Comm) send(dst, tag int, bytes int64, data []byte) {
 		d.completeRecv(m)
 		d.state = stRunnable
 		heap.Push(&s.runq, d)
+		s.noteRunq()
 		return
 	}
 	if d.inbox == nil {
@@ -184,13 +195,17 @@ func (c *Comm) recv(src, tag int) []byte {
 		panic(fmt.Sprintf("mpisim: recv from invalid rank %d", src))
 	}
 	if q := c.inbox[src]; len(q) > 0 {
+		s := c.world.sched
+		s.inboxScans++
 		for i, m := range q {
 			if m.tag == tag {
+				s.inboxScanned += int64(i + 1)
 				c.inbox[src] = append(q[:i], q[i+1:]...)
 				c.completeRecv(m)
 				return m.data
 			}
 		}
+		s.inboxScanned += int64(len(q))
 	}
 	c.state = stBlockedRecv
 	c.wantSrc, c.wantTag = src, tag
@@ -224,12 +239,14 @@ func (s *sched) arrive(c *Comm) int64 {
 	}
 	cs.count++
 	if cs.count == s.w.P {
+		s.collectives++
 		res := cs.max
 		for _, wtr := range cs.waiters {
 			wtr.collMax = res
 			wtr.state = stRunnable
 			heap.Push(&s.runq, wtr)
 		}
+		s.noteRunq()
 		cs.waiters = cs.waiters[:0]
 		cs.count = 0
 		cs.max = 0

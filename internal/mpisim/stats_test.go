@@ -1,0 +1,56 @@
+package mpisim
+
+import (
+	"testing"
+
+	"unimem/internal/machine"
+)
+
+// TestCoreStatsAdvance runs a small world with point-to-point traffic,
+// out-of-order tag matching and a collective, and checks every counter
+// moved by at least the amount the program structure guarantees.
+func TestCoreStatsAdvance(t *testing.T) {
+	before := ReadCoreStats()
+	const P = 4
+	w := NewWorld(P, machine.Edison())
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			// Two sends with distinct tags; receiver asks for the later
+			// tag first, forcing a scan past the first queued message.
+			c.Send(1, 7, 1024, nil)
+			c.Send(1, 8, 1024, nil)
+		}
+		if c.Rank() == 1 {
+			// Barrier first so both messages are queued before the scan.
+			c.Barrier()
+			c.Recv(0, 8)
+			c.Recv(0, 7)
+		} else {
+			c.Barrier()
+		}
+		c.Allreduce(64)
+	})
+	after := ReadCoreStats()
+
+	if after.Worlds != before.Worlds+1 {
+		t.Errorf("worlds %d -> %d, want +1", before.Worlds, after.Worlds)
+	}
+	// P dispatches to start plus at least one per block/wake.
+	if after.Events < before.Events+int64(P) {
+		t.Errorf("events %d -> %d, want >= +%d", before.Events, after.Events, P)
+	}
+	if after.Collectives < before.Collectives+2 {
+		t.Errorf("collectives %d -> %d, want >= +2 (barrier + allreduce)", before.Collectives, after.Collectives)
+	}
+	// Recv(0,8) scans past the queued tag-7 message (2 examined), then
+	// Recv(0,7) finds it first (1 examined).
+	if after.InboxScans < before.InboxScans+2 {
+		t.Errorf("inbox scans %d -> %d, want >= +2", before.InboxScans, after.InboxScans)
+	}
+	if after.InboxScanned < before.InboxScanned+3 {
+		t.Errorf("inbox scanned %d -> %d, want >= +3", before.InboxScanned, after.InboxScanned)
+	}
+	if after.MaxRunqDepth < int64(P) {
+		t.Errorf("max runq depth %d, want >= %d (start seeds all ranks)", after.MaxRunqDepth, P)
+	}
+}

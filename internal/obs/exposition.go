@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses a Prometheus text-format (0.0.4) document and
+// returns an error on the first malformed line. It checks structural
+// validity — comment grammar, metric/label name grammar, label-value
+// quoting and escapes, and that every sample value parses as a float —
+// plus the cross-line invariants that matter for scrape correctness:
+// TYPE declared at most once per metric and samples appearing under the
+// most recent TYPE block if one exists. Tests and the CI smoke use it to
+// assert every /metrics scrape stays machine-readable.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typed := map[string]string{} // metric name -> type
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, typed); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, typed); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func validateComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment; legal
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if _, dup := typed[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for metric %q", fields[2])
+		}
+		typed[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// sampleBase strips histogram/summary suffixes so a _bucket sample is
+// matched to its family's TYPE entry.
+func sampleBase(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := typed[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func validateSample(line string, typed map[string]string) error {
+	// Metric name runs to the first '{' or space.
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return fmt.Errorf("malformed sample line %q", line)
+	}
+	name := line[:nameEnd]
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		end, err := validateLabels(rest)
+		if err != nil {
+			return fmt.Errorf("metric %q: %w", name, err)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// Value, optionally followed by a timestamp.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("metric %q: expected value [timestamp], got %q", name, rest)
+	}
+	if _, err := parseValue(fields[0]); err != nil {
+		return fmt.Errorf("metric %q: bad value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("metric %q: bad timestamp %q", name, fields[1])
+		}
+	}
+	if len(typed) > 0 {
+		if _, ok := typed[sampleBase(name, typed)]; !ok {
+			return fmt.Errorf("sample %q has no preceding TYPE declaration", name)
+		}
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return 0, nil
+	case "-Inf":
+		return 0, nil
+	case "NaN", "nan":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateLabels parses a {k="v",...} block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func validateLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// Label name.
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("label name without '='")
+		}
+		lname := s[start:i]
+		if !labelNameRe.MatchString(lname) && lname != "le" && lname != "quantile" {
+			return 0, fmt.Errorf("invalid label name %q", lname)
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %q: value not quoted", lname)
+		}
+		i++ // past opening quote
+		for i < len(s) {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("label %q: dangling escape", lname)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Errorf("label %q: bad escape \\%c", lname, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("label %q: unterminated value", lname)
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

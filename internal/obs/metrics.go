@@ -1,0 +1,594 @@
+// Package obs is the observability layer: a zero-dependency metrics
+// registry (counters, gauges, fixed-bucket latency histograms with
+// quantile estimation) exposed in Prometheus text format, and a span-style
+// per-run trace recorder (trace.go) exportable as Chrome trace-event JSON.
+//
+// The package is designed to be always compiled in but free when unused:
+// every constructor on a nil *Registry returns a nil instrument, and every
+// method on a nil instrument is a no-op, so instrumented code paths carry
+// a single pointer check when observability is disabled. Instruments are
+// safe for concurrent use; hot-path operations (Counter.Add, Gauge.Set,
+// Histogram.Observe) are single atomic updates.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricNameRe is the Prometheus metric-name grammar; label names drop the
+// colon. Registration panics on violations — a malformed name is a
+// programmer error that would silently corrupt the exposition otherwise.
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// family is one exposition block: a # HELP / # TYPE header plus the sample
+// lines of every child (label combination) of the metric.
+type family interface {
+	meta() (name, help, typ string)
+	// write appends the family's sample lines (no header) to b.
+	write(b *strings.Builder)
+}
+
+// Registry holds metric families in registration order and renders them as
+// Prometheus text exposition format (version 0.0.4). The zero value is not
+// usable; construct with NewRegistry. A nil *Registry is the disabled
+// mode: its constructors return nil instruments whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families []family
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// register validates and appends one family.
+func (r *Registry) register(f family) {
+	name, _, _ := f.meta()
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: duplicate metric name %q", name))
+	}
+	r.names[name] = true
+	r.families = append(r.families, f)
+}
+
+func checkLabels(labels []string) {
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l))
+		}
+	}
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// labelPairs renders {k="v",...} for parallel name/value slices ("" for an
+// empty set).
+func labelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders the full exposition document. It implements
+// io.WriterTo; a nil registry writes nothing.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	fams := append([]family(nil), r.families...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		name, help, typ := f.meta()
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+		f.write(&b)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Handler serves the registry as a GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing value. A nil Counter no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative deltas are ignored — counters
+// are monotonic by contract).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+type counterFamily struct {
+	name, help string
+	c          *Counter
+}
+
+func (f *counterFamily) meta() (string, string, string) { return f.name, f.help, "counter" }
+func (f *counterFamily) write(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %d\n", f.name, f.c.Value())
+}
+
+// Counter registers and returns a new counter (nil on a nil registry).
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(&counterFamily{name: name, help: help, c: c})
+	return c
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct {
+	name   string
+	labels []string
+	mu     sync.Mutex
+	kids   map[string]*Counter
+	order  []string
+	vals   map[string][]string
+}
+
+// With returns the child counter for the label values, creating it on
+// first use. The value count must match the registered label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.kids[key]
+	if !ok {
+		c = &Counter{}
+		v.kids[key] = c
+		v.order = append(v.order, key)
+		v.vals[key] = append([]string(nil), values...)
+	}
+	return c
+}
+
+type counterVecFamily struct {
+	help string
+	v    *CounterVec
+}
+
+func (f *counterVecFamily) meta() (string, string, string) { return f.v.name, f.help, "counter" }
+func (f *counterVecFamily) write(b *strings.Builder) {
+	f.v.mu.Lock()
+	keys := append([]string(nil), f.v.order...)
+	f.v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.v.mu.Lock()
+		c, vals := f.v.kids[k], f.v.vals[k]
+		f.v.mu.Unlock()
+		fmt.Fprintf(b, "%s%s %d\n", f.v.name, labelPairs(f.v.labels, vals), c.Value())
+	}
+}
+
+// CounterVec registers a labeled counter family (nil on a nil registry).
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	checkLabels(labels)
+	v := &CounterVec{name: name, labels: labels, kids: map[string]*Counter{}, vals: map[string][]string{}}
+	r.register(&counterVecFamily{help: help, v: v})
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a value that can go up and down. A nil Gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+type gaugeFamily struct {
+	name, help string
+	g          *Gauge
+}
+
+func (f *gaugeFamily) meta() (string, string, string) { return f.name, f.help, "gauge" }
+func (f *gaugeFamily) write(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %d\n", f.name, f.g.Value())
+}
+
+// Gauge registers and returns a new gauge (nil on a nil registry).
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(&gaugeFamily{name: name, help: help, g: g})
+	return g
+}
+
+type gaugeFuncFamily struct {
+	name, help string
+	fn         func() float64
+}
+
+func (f *gaugeFuncFamily) meta() (string, string, string) { return f.name, f.help, "gauge" }
+func (f *gaugeFuncFamily) write(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %s\n", f.name, formatValue(f.fn()))
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// the bridge for state that already has its own counters (cache stats,
+// pool depths, simulator totals). fn must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&gaugeFuncFamily{name: name, help: help, fn: fn})
+}
+
+type counterFuncFamily struct {
+	name, help string
+	fn         func() float64
+}
+
+func (f *counterFuncFamily) meta() (string, string, string) { return f.name, f.help, "counter" }
+func (f *counterFuncFamily) write(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %s\n", f.name, formatValue(f.fn()))
+}
+
+// CounterFunc registers a counter whose value is read at scrape time from
+// an external monotonic source (e.g. cache hit totals). fn must be
+// monotonic and safe to call concurrently.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&counterFuncFamily{name: name, help: help, fn: fn})
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// DefBuckets is the default latency bucket layout in seconds: 100µs to
+// ~100s in roughly 1-2.5-5 steps — wide enough for both microsecond cache
+// hits and multi-second cold simulations.
+var DefBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05,
+	.1, .25, .5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Histogram is a fixed-bucket histogram with cumulative exposition and
+// bucket-interpolated quantile estimation. A nil Histogram no-ops.
+type Histogram struct {
+	bounds  []float64      // upper bounds, ascending; +Inf implicit
+	counts  []atomic.Int64 // per-bucket (non-cumulative) counts
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the value sum
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; the last slot is +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts by
+// linear interpolation inside the target bucket, the same estimate
+// Prometheus's histogram_quantile computes. It returns 0 with no
+// observations; an estimate landing in the +Inf bucket returns the
+// largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				// +Inf bucket: clamp to the largest finite bound.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writeSamples appends the histogram's _bucket/_sum/_count lines.
+func (h *Histogram) writeSamples(b *strings.Builder, name string, labelNames, labelValues []string) {
+	var cum int64
+	withLE := func(le string) string {
+		ns := append(append([]string(nil), labelNames...), "le")
+		vs := append(append([]string(nil), labelValues...), le)
+		return labelPairs(ns, vs)
+	}
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(formatValue(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE("+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labelPairs(labelNames, labelValues), formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelPairs(labelNames, labelValues), h.count.Load())
+}
+
+type histogramFamily struct {
+	name, help string
+	h          *Histogram
+}
+
+func (f *histogramFamily) meta() (string, string, string) { return f.name, f.help, "histogram" }
+func (f *histogramFamily) write(b *strings.Builder) {
+	f.h.writeSamples(b, f.name, nil, nil)
+}
+
+// Histogram registers a histogram with the given bucket upper bounds
+// (nil buckets: DefBuckets). Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := newHistogram(buckets)
+	r.register(&histogramFamily{name: name, help: help, h: h})
+	return h
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct {
+	name    string
+	labels  []string
+	buckets []float64
+	mu      sync.Mutex
+	kids    map[string]*Histogram
+	order   []string
+	vals    map[string][]string
+}
+
+// With returns the child histogram for the label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.kids[key]
+	if !ok {
+		h = newHistogram(v.buckets)
+		v.kids[key] = h
+		v.order = append(v.order, key)
+		v.vals[key] = append([]string(nil), values...)
+	}
+	return h
+}
+
+// Children returns the live (labelValues, histogram) pairs in sorted
+// label order — the introspection hook quantile reporting reads.
+func (v *HistogramVec) Children() [][2]interface{} {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	keys := append([]string(nil), v.order...)
+	v.mu.Unlock()
+	sort.Strings(keys)
+	out := make([][2]interface{}, 0, len(keys))
+	for _, k := range keys {
+		v.mu.Lock()
+		h, vals := v.kids[k], v.vals[k]
+		v.mu.Unlock()
+		out = append(out, [2]interface{}{vals, h})
+	}
+	return out
+}
+
+type histogramVecFamily struct {
+	help string
+	v    *HistogramVec
+}
+
+func (f *histogramVecFamily) meta() (string, string, string) { return f.v.name, f.help, "histogram" }
+func (f *histogramVecFamily) write(b *strings.Builder) {
+	f.v.mu.Lock()
+	keys := append([]string(nil), f.v.order...)
+	f.v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.v.mu.Lock()
+		h, vals := f.v.kids[k], f.v.vals[k]
+		f.v.mu.Unlock()
+		h.writeSamples(b, f.v.name, f.v.labels, vals)
+	}
+}
+
+// HistogramVec registers a labeled histogram family (nil buckets:
+// DefBuckets). Returns nil on a nil registry.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	checkLabels(labels)
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	v := &HistogramVec{name: name, labels: labels, buckets: bs, kids: map[string]*Histogram{}, vals: map[string][]string{}}
+	r.register(&histogramVecFamily{help: help, v: v})
+	return v
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Total requests.")
+	g := r.Gauge("test_inflight", "In-flight requests.")
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotonic
+	g.Set(7)
+	g.Add(-2)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_requests_total counter",
+		"test_requests_total 4",
+		"# TYPE test_inflight gauge",
+		"test_inflight 5",
+		"test_uptime_seconds 12.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("self-exposition failed validation: %v", err)
+	}
+}
+
+func TestCounterVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_hits_total", "Hits by path.", "path", "code")
+	v.With("/run", "200").Add(2)
+	v.With("/batch", "500").Inc()
+	v.With("/run", "200").Inc() // same child
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_hits_total{path="/run",code="200"} 3`) {
+		t.Errorf("missing labeled sample:\n%s", out)
+	}
+	if !strings.Contains(out, `test_hits_total{path="/batch",code="500"} 1`) {
+		t.Errorf("missing labeled sample:\n%s", out)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("validation: %v", err)
+	}
+}
+
+func TestHistogramExpositionAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 0.2, 0.5, 1})
+	// 100 observations uniformly in (0, 0.1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if math.Abs(h.Sum()-5.05) > 1e-9 {
+		t.Errorf("sum = %g, want 5.05", h.Sum())
+	}
+	// All mass in [0, 0.1] → interpolated p50 = 0.05.
+	if got := h.Quantile(0.5); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("p50 = %g, want 0.05", got)
+	}
+	if got := h.Quantile(0.99); math.Abs(got-0.099) > 1e-9 {
+		t.Errorf("p99 = %g, want 0.099", got)
+	}
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.1"} 100`,
+		`test_latency_seconds_bucket{le="1"} 100`,
+		`test_latency_seconds_bucket{le="+Inf"} 100`,
+		"test_latency_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("validation: %v", err)
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 10 obs ≤1, 10 in (1,2], 10 in (2,4].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	// rank(0.5)=15 → 5 into the (1,2] bucket of 10 → 1 + 0.5 = 1.5.
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p50 = %g, want 1.5", got)
+	}
+	// Empty histogram and out-of-range mass.
+	var empty Histogram
+	if got := (&empty).Quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %g, want 0", got)
+	}
+	h2 := newHistogram([]float64{1})
+	h2.Observe(100) // +Inf bucket → clamp to largest finite bound
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Errorf("inf-bucket p99 = %g, want 1 (clamped)", got)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_dur_seconds", "Durations.", []float64{0.5, 1}, "endpoint", "cache")
+	v.With("/run", "hit").Observe(0.2)
+	v.With("/run", "miss").Observe(0.9)
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_dur_seconds_bucket{endpoint="/run",cache="hit",le="0.5"} 1`) {
+		t.Errorf("missing hit bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `test_dur_seconds_count{endpoint="/run",cache="miss"} 1`) {
+		t.Errorf("missing miss count:\n%s", out)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("validation: %v", err)
+	}
+}
+
+// TestNilSafety is the disabled-mode contract: a nil registry hands out
+// nil instruments and every operation on them is a no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	g := r.Gauge("x", "x")
+	h := r.Histogram("x_seconds", "x", nil)
+	cv := r.CounterVec("xv_total", "x", "l")
+	hv := r.HistogramVec("xv_seconds", "x", nil, "l")
+	r.GaugeFunc("x_fn", "x", func() float64 { return 1 })
+	r.CounterFunc("x_cfn", "x", func() float64 { return 1 })
+
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	cv.With("a").Inc()
+	hv.With("a").Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if n, err := r.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Errorf("nil registry WriteTo = (%d, %v), want (0, nil)", n, err)
+	}
+	if hv.Children() != nil {
+		t.Error("nil vec Children must be nil")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "x", []float64{0.5})
+	c := r.Counter("test_conc_total", "x")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+				c.Inc()
+			}
+		}()
+	}
+	// Scrape concurrently with writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WriteTo(&b)
+			if err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+				t.Errorf("concurrent scrape invalid: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Errorf("count = %d / %d, want 8000", h.Count(), c.Value())
+	}
+	if math.Abs(h.Sum()-2000) > 1e-6 {
+		t.Errorf("sum = %g, want 2000", h.Sum())
+	}
+}
+
+func TestRegistryPanicsOnBadNames(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("bad metric name", func() { r.Counter("bad name", "x") })
+	mustPanic("bad label name", func() { r.CounterVec("ok_total", "x", "bad-label") })
+	r.Counter("dup_total", "x")
+	mustPanic("duplicate name", func() { r.Counter("dup_total", "x") })
+	v := r.CounterVec("lab_total", "x", "a", "b")
+	mustPanic("label arity", func() { v.With("only-one") })
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	bad := []string{
+		"no_value_here\n",
+		"1leading_digit 3\n",
+		`m{l=unquoted} 1` + "\n",
+		`m{l="unterminated} 1` + "\n",
+		`m{bad-label="v"} 1` + "\n",
+		"m notafloat\n",
+		"# TYPE m widget\nm 1\n",
+		"# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"# TYPE known counter\nunknown_sample 1\n",
+		`m{l="bad\q"} 1` + "\n",
+	}
+	for _, doc := range bad {
+		if err := ValidateExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("expected rejection of %q", doc)
+		}
+	}
+	good := []string{
+		"",
+		"# just a comment\n",
+		"m 1\n",
+		"m 1 1700000000000\n",
+		`m{a="x",b="y\"z"} 2.5` + "\n",
+		"m +Inf\nn NaN\n",
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n",
+	}
+	for _, doc := range good {
+		if err := ValidateExposition(strings.NewReader(doc)); err != nil {
+			t.Errorf("unexpected rejection of %q: %v", doc, err)
+		}
+	}
+}

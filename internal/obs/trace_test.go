@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceChromeJSONShape(t *testing.T) {
+	tr := NewTrace()
+	tr.Span(Virtual, 0, "phase 0", "phase", 1000, 5000, map[string]any{"iter": 1})
+	tr.Span(Virtual, 0, "phase 1", "phase", 5000, 9000, nil)
+	tr.Instant(Virtual, 0, "reprofile", "adapt", 9000, nil)
+	tr.Span(Wall, 1, "execute", "engine", 0, 2_000_000, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome doc is not valid JSON: %v", err)
+	}
+	// 2 metadata + 4 recorded.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+	var metas, spans, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metas++
+			if e.Name != "process_name" || e.Args["name"] == nil {
+				t.Errorf("metadata event malformed: %+v", e)
+			}
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if metas != 2 || spans != 3 || instants != 1 {
+		t.Errorf("event mix M=%d X=%d i=%d, want 2/3/1", metas, spans, instants)
+	}
+	// Virtual span timestamps are µs: 1000ns → 1µs, dur 4000ns → 4µs.
+	for _, e := range doc.TraceEvents {
+		if e.Name == "phase 0" {
+			if e.Ts != 1 || e.Dur != 4 || e.Pid != int(Virtual) {
+				t.Errorf("phase 0 ts/dur/pid = %v/%v/%d, want 1/4/%d", e.Ts, e.Dur, e.Pid, int(Virtual))
+			}
+			if iter, ok := e.Args["iter"].(float64); !ok || iter != 1 {
+				t.Errorf("phase 0 args = %v", e.Args)
+			}
+		}
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Span(Virtual, 0, "x", "c", 0, 1, nil)
+	tr.Instant(Wall, 0, "x", "c", 0, nil)
+	tr.WallSpan(0, "x", "c", time.Now(), nil)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil trace must record nothing")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Error("nil trace must still write a valid empty document")
+	}
+	if _, err := tr.MarshalChrome(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() != "trace(nil)" {
+		t.Errorf("String = %q", tr.String())
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Span(Virtual, g, "s", "c", int64(i), int64(i+1), nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 4000 {
+		t.Errorf("len = %d, want 4000", tr.Len())
+	}
+}
+
+func TestTraceSpanClampsNegativeDuration(t *testing.T) {
+	tr := NewTrace()
+	tr.Span(Virtual, 0, "x", "c", 100, 50, nil)
+	ev := tr.Events()
+	if len(ev) != 1 || ev[0].Dur != 0 {
+		t.Errorf("negative duration must clamp to 0: %+v", ev)
+	}
+}

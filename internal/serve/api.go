@@ -307,13 +307,16 @@ type OutcomeJSON struct {
 	BytesMigrated int64 `json:"bytes_migrated"`
 	// Tiers carries rank 0's per-tier residency (Unimem strategy only).
 	Tiers []TierJSON `json:"tiers,omitempty"`
+	// CacheHit reports whether this outcome was served from the run
+	// cache (always false for the uncached Unimem strategy).
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// Error is the job's failure, if any (other fields are zero then).
 	Error string `json:"error,omitempty"`
 }
 
 // outcomeJSON shapes a Session outcome for the wire.
 func outcomeJSON(o unimem.Outcome) OutcomeJSON {
-	oj := OutcomeJSON{Index: o.Index, Strategy: o.Job.Strategy.Name()}
+	oj := OutcomeJSON{Index: o.Index, Strategy: o.Job.Strategy.Name(), CacheHit: o.CacheHit}
 	if o.Job.Workload != nil {
 		oj.Workload = o.Job.Workload.Name
 	}
@@ -350,6 +353,9 @@ type RunResponse struct {
 	Platform    string            `json:"platform"`
 	Fingerprint string            `json:"fingerprint"`
 	Cache       unimem.CacheStats `json:"cache"`
+	// Trace is the run's span timeline as Chrome trace-event JSON
+	// (loadable in chrome://tracing), present only on /run?trace=1.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // CalibrationJSON is the one-time platform measurement on the wire.
@@ -391,15 +397,31 @@ type SnapshotJSON struct {
 // state, and per-session calibration introspection.
 type StatsResponse struct {
 	Cache unimem.CacheStats `json:"cache"`
-	// InFlight gauges the run/batch/fleet handlers executing right now.
-	InFlight   int64         `json:"in_flight_requests"`
+	// InFlight gauges the run/batch/fleet handlers executing right now,
+	// read in the same critical section as Sessions so the two are
+	// mutually consistent.
+	InFlight int64 `json:"in_flight_requests"`
+	// Uptime is seconds since the server started.
+	Uptime float64 `json:"uptime_seconds"`
+	// Build identifies the serving binary.
+	Build      *BuildJSON    `json:"build,omitempty"`
 	Snapshot   *SnapshotJSON `json:"snapshot,omitempty"`
 	Sessions   []SessionJSON `json:"sessions"`
 	Platforms  []string      `json:"platforms"`
 	Strategies []string      `json:"strategies"`
 }
 
+// BuildJSON identifies the serving binary (module version or VCS
+// revision, plus the Go toolchain that built it).
+type BuildJSON struct {
+	Version string `json:"version"`
+	Go      string `json:"go"`
+}
+
 // errorJSON is every non-2xx body.
 type errorJSON struct {
 	Error string `json:"error"`
+	// RequestID matches the X-Request-Id header and the server's log
+	// lines for this request ("" outside instrumented routes).
+	RequestID string `json:"request_id,omitempty"`
 }

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// reqSeq numbers requests within this process; combined with the process
+// start time it yields IDs unique across restarts without coordination.
+var reqSeq atomic.Uint64
+
+// reqEpoch distinguishes processes (restarts) in request IDs.
+var reqEpoch = func() string {
+	return strconv.FormatInt(time.Now().UnixNano()&0xFFFFFFFF, 36)
+}()
+
+// newRequestID returns a short process-unique request identifier.
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqEpoch, reqSeq.Add(1))
+}
+
+// reqStateKey carries *reqState through the request context.
+type reqStateKey struct{}
+
+// reqState is per-request metadata the handler fills in as it learns it:
+// the run-cache attribution of the work performed ("hit", "miss", or ""
+// when no run executed), consumed by the latency histogram's cache label.
+type reqState struct {
+	id    string
+	cache string
+}
+
+// stateOf returns the request's reqState (nil outside instrumented
+// handlers, e.g. direct Handler() tests).
+func stateOf(r *http.Request) *reqState {
+	st, _ := r.Context().Value(reqStateKey{}).(*reqState)
+	return st
+}
+
+// setCacheLabel records the request's run-cache attribution: hit when
+// every job was served from the cache, miss otherwise.
+func setCacheLabel(r *http.Request, allHit bool, ran bool) {
+	st := stateOf(r)
+	if st == nil || !ran {
+		return
+	}
+	if allHit {
+		st.cache = "hit"
+	} else {
+		st.cache = "miss"
+	}
+}
+
+// statusRecorder captures the response status for metrics and logging.
+// It forwards Flush so NDJSON streaming keeps working through the wrap.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the observability envelope: request ID
+// (issued, echoed as X-Request-Id, attached to error bodies and logs),
+// latency histogram observation labeled endpoint × cache attribution,
+// request counter labeled endpoint × status, and structured request
+// logging — completions at Debug, slow requests and server errors at
+// Warn. The wrap adds two small allocations and a map insert per request;
+// with metrics disabled every instrument no-ops.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.forEndpoint(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		st := &reqState{id: newRequestID()}
+		w.Header().Set("X-Request-Id", st.id)
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r.WithContext(context.WithValue(r.Context(), reqStateKey{}, st)))
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+
+		cache := st.cache
+		if cache == "" {
+			cache = "none"
+		}
+		em.observe(rec.status, cache, elapsed.Seconds())
+
+		l := s.cfg.Logger
+		switch {
+		case rec.status >= 500:
+			l.Warn("request failed", "id", st.id, "endpoint", endpoint,
+				"status", rec.status, "cache", cache, "dur", elapsed)
+		case elapsed >= s.slowRequest():
+			l.Warn("slow request", "id", st.id, "endpoint", endpoint,
+				"status", rec.status, "cache", cache, "dur", elapsed)
+		case l.Enabled(r.Context(), slog.LevelDebug):
+			l.Debug("request", "id", st.id, "endpoint", endpoint,
+				"status", rec.status, "cache", cache, "dur", elapsed)
+		}
+	}
+}
+
+// slowRequest is the slow-log threshold (Config.SlowRequest, default 30s —
+// cold full-fidelity simulations legitimately run for seconds).
+func (s *Server) slowRequest() time.Duration {
+	if s.cfg.SlowRequest > 0 {
+		return s.cfg.SlowRequest
+	}
+	return 30 * time.Second
+}

@@ -11,7 +11,14 @@
 //	POST /batch  a job list -> NDJSON outcomes, streamed in job order
 //	POST /fleet  scenario-generator-driven runs -> NDJSON outcomes
 //	GET  /stats  cache, snapshot and per-session calibration introspection
-//	GET  /healthz liveness probe
+//	GET  /metrics Prometheus text exposition (request latency histograms
+//	              per endpoint x cache attribution, cache/pool gauges,
+//	              mpisim event-core counters)
+//	GET  /healthz liveness probe (echoes the build version)
+//
+// Every request carries an X-Request-Id (also attached to error bodies
+// and log lines); POST /run?trace=1 additionally returns the run's span
+// timeline as Chrome trace-event JSON in the response's "trace" field.
 //
 // Every request is bounded by its own context: a disconnecting client
 // aborts the in-flight simulated worlds exactly like a cancelled library
@@ -23,11 +30,13 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"unimem"
 	"unimem/internal/exp"
@@ -55,6 +64,17 @@ type Config struct {
 	Seed uint64
 	// Logf receives operational log lines (nil: silent).
 	Logf func(format string, args ...any)
+	// Logger receives structured request logs: completions at Debug,
+	// slow requests and 5xx responses at Warn (nil: discarded).
+	Logger *slog.Logger
+	// DisableMetrics turns off the /metrics registry and all request
+	// instrumentation (request IDs and logging stay on).
+	DisableMetrics bool
+	// MaxSessions bounds the session pool (0: the default, 64).
+	MaxSessions int
+	// SlowRequest is the latency above which a request logs at Warn
+	// (0: 30s).
+	SlowRequest time.Duration
 }
 
 // snapshotFileName is the cache snapshot inside CacheDir.
@@ -88,17 +108,22 @@ type poolEntry struct {
 // Server routes the service endpoints over a session pool and the shared
 // run cache. Safe for concurrent use; construct with New.
 type Server struct {
-	cfg    Config
-	cache  *unimem.RunCache
-	loaded int
+	cfg     Config
+	cache   *unimem.RunCache
+	loaded  int
+	started time.Time
+	metrics *serverMetrics
 
 	mu       sync.Mutex
 	sessions *lru.Table[string, *poolEntry]
-
 	// inflight gauges the run/batch/fleet handlers currently executing
 	// (exposed on /stats; a cancelled batch must drive it back to zero
-	// promptly — the regression the cancellation test pins).
-	inflight atomic.Int64
+	// promptly — the regression the cancellation test pins). Guarded by
+	// mu, NOT an atomic: /stats must read the gauge and the session list
+	// in one consistent snapshot, so a scrape during a draining batch
+	// can never pair a stale in-flight count with an already-updated pool
+	// (or report sessions the drain has evicted).
+	inflight int64
 
 	mux *http.ServeMux
 }
@@ -114,17 +139,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	var cache *unimem.RunCache
 	if cfg.MaxEntries > 0 || cfg.MaxBytes > 0 {
 		cache = unimem.NewRunCacheBounded(cfg.MaxEntries, cfg.MaxBytes)
 	} else {
 		cache = unimem.NewRunCache()
 	}
+	poolSize := cfg.MaxSessions
+	if poolSize <= 0 {
+		poolSize = maxPoolSessions
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    cache,
-		sessions: lru.New[string, *poolEntry](maxPoolSessions),
+		started:  time.Now(),
+		sessions: lru.New[string, *poolEntry](poolSize),
 	}
+	s.metrics = newServerMetrics(s, cfg.DisableMetrics)
 	if cfg.CacheDir != "" {
 		n, err := cache.LoadSnapshot(s.SnapshotPath())
 		if err != nil {
@@ -135,22 +169,39 @@ func New(cfg Config) (*Server, error) {
 		s.loaded = n
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /run", s.gauged(s.handleRun))
-	mux.HandleFunc("POST /batch", s.gauged(s.handleBatch))
-	mux.HandleFunc("POST /fleet", s.gauged(s.handleFleet))
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /run", s.instrument("/run", s.gauged(s.handleRun)))
+	mux.HandleFunc("POST /batch", s.instrument("/batch", s.gauged(s.handleBatch)))
+	mux.HandleFunc("POST /fleet", s.instrument("/fleet", s.gauged(s.handleFleet)))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.metrics.reg != nil {
+		mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	}
 	s.mux = mux
 	return s, nil
 }
 
-// gauged wraps an execution handler in the in-flight gauge.
+// gauged wraps an execution handler in the in-flight gauge (under mu —
+// see the inflight field for why this is not an atomic).
 func (s *Server) gauged(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.inflight.Add(1)
-		defer s.inflight.Add(-1)
+		s.mu.Lock()
+		s.inflight++
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			s.inflight--
+			s.mu.Unlock()
+		}()
 		h(w, r)
 	}
+}
+
+// poolSnapshot returns the pooled sessions under the lock.
+func (s *Server) poolSnapshot() []*poolEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions.Values()
 }
 
 // Handler returns the server's HTTP handler.
@@ -215,11 +266,17 @@ func (s *Server) session(m *unimem.Machine) *poolEntry {
 	return e
 }
 
-// httpError writes an errorJSON body with the given status.
+// httpError writes an errorJSON body with the given status. The body
+// carries the request ID the instrument middleware issued (the same one
+// in the X-Request-Id header and the server log), so a client-reported
+// failure can be matched to its log lines.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(errorJSON{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get("X-Request-Id"),
+	})
 }
 
 // decodeJSON decodes a bounded, strict (unknown fields rejected) request
@@ -261,15 +318,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	var trace *unimem.Trace
+	if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+		trace = unimem.NewTrace()
+		job.Options.Trace = trace
+	}
 	entry := s.session(m)
 	entry.runs.Add(1)
 	out, _ := entry.sess.RunJob(r.Context(), job)
-	writeJSON(w, RunResponse{
+	setCacheLabel(r, out.CacheHit, out.Err == nil)
+	resp := RunResponse{
 		OutcomeJSON: outcomeJSON(*out),
 		Platform:    entry.name,
 		Fingerprint: entry.fp,
 		Cache:       entry.sess.CacheStats(),
-	})
+	}
+	if trace != nil {
+		if doc, err := trace.MarshalChrome(); err == nil {
+			resp.Trace = doc
+		}
+	}
+	writeJSON(w, resp)
 }
 
 // streamOutcomes runs jobs through the session's bounded-window Stream
@@ -281,8 +350,13 @@ func streamOutcomes(w http.ResponseWriter, r *http.Request, e *poolEntry, jobs [
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	allHit, ran := true, false
 	for o := range e.sess.Stream(r.Context(), jobs) {
 		e.runs.Add(1)
+		ran = true
+		if !o.CacheHit || o.Err != nil {
+			allHit = false
+		}
 		row := outcomeJSON(o)
 		if annotate != nil {
 			annotate(&row)
@@ -295,6 +369,8 @@ func streamOutcomes(w http.ResponseWriter, r *http.Request, e *poolEntry, jobs [
 			flusher.Flush()
 		}
 	}
+	// A batch counts as a cache hit only when every job was one.
+	setCacheLabel(r, allHit, ran)
 }
 
 // handleBatch executes a job list with RunAll semantics — deterministic
@@ -440,7 +516,8 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Cache:      s.cache.Stats(),
-		InFlight:   s.inflight.Load(),
+		Uptime:     time.Since(s.started).Seconds(),
+		Build:      &BuildJSON{Version: Version(), Go: goVersion()},
 		Platforms:  Platforms(),
 		Strategies: unimem.StrategyNames(),
 		Sessions:   []SessionJSON{},
@@ -452,7 +529,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Version:       exp.SnapshotVersion,
 		}
 	}
+	// One consistent snapshot: the in-flight gauge and the session list
+	// are read under the same critical section, so a scrape racing a
+	// draining batch sees either (inflight>0, pre-eviction pool) or
+	// (inflight updated, post-eviction pool) — never a mix.
 	s.mu.Lock()
+	resp.InFlight = s.inflight
 	entries := s.sessions.Values()
 	s.mu.Unlock()
 	// Calibrations are computed outside the pool lock: a first-use
@@ -470,7 +552,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the liveness probe; it echoes the build version so an
+// operator can tell which binary answered.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]bool{"ok": true})
+	writeJSON(w, map[string]any{"ok": true, "version": Version()})
 }

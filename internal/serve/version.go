@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Version returns the build's version string for /healthz, /stats and the
+// build-info metric: the main module version when the binary was built
+// from a tagged module, otherwise the VCS revision (12 chars, "+dirty"
+// when the tree was modified), otherwise "dev". Computed once.
+var Version = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+})
+
+// goVersion is the toolchain that built the binary.
+var goVersion = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.GoVersion != "" {
+		return bi.GoVersion
+	}
+	return "unknown"
+})

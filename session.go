@@ -145,6 +145,10 @@ func (s *Session) Calibration() Calibration {
 // CacheStats snapshots the session's run-cache hit/miss counters.
 func (s *Session) CacheStats() CacheStats { return s.eng.Stats() }
 
+// PoolStats reports the session worker pool's current depth: jobs queued
+// (accepted by a batch API but not yet dispatched) and jobs running.
+func (s *Session) PoolStats() (queued, running int64) { return s.eng.PoolStats() }
+
 // Job is one unit of batch work: a workload and the strategy to place it
 // under, with optional per-job overrides.
 type Job struct {
@@ -173,6 +177,10 @@ type Outcome struct {
 	// Err is the job's error: a run failure, or the context's error when
 	// the job was cancelled or never dispatched.
 	Err error
+	// CacheHit reports whether the result was served from the session's
+	// run cache rather than a fresh execution (always false for the
+	// Unimem strategy, which never caches).
+	CacheHit bool
 
 	mach *Machine
 }
@@ -231,7 +239,9 @@ func (s *Session) do(ctx context.Context, idx int, job Job) Outcome {
 	if opts.Seed == 0 {
 		opts.Seed = s.seed
 	}
-	o.Result, o.Runtimes, o.Err = s.eng.Execute(ctx, job.Workload, s.m, job.Strategy, cfg, opts)
+	var info exp.ExecInfo
+	o.Result, o.Runtimes, info, o.Err = s.eng.ExecuteInfo(ctx, job.Workload, s.m, job.Strategy, cfg, opts)
+	o.CacheHit = info.CacheHit
 	return o
 }
 

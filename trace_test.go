@@ -1,0 +1,67 @@
+package unimem_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"unimem"
+)
+
+// TestTraceDoesNotPerturbRun is the observability layer's golden
+// invariant: attaching a Trace must not change the simulation by one
+// nanosecond. The full Result documents of a traced and an untraced run
+// must be identical, so every table the experiments print stays
+// byte-identical whether or not instrumentation is attached.
+func TestTraceDoesNotPerturbRun(t *testing.T) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	w := unimem.NewNPB("CG", "A", 2)
+	sess := unimem.New(m, unimem.WithQuick())
+	ctx := context.Background()
+
+	plain, err := sess.RunJob(ctx, unimem.Job{Workload: w, Strategy: unimem.Unimem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := unimem.NewTrace()
+	traced, err := sess.RunJob(ctx, unimem.Job{
+		Workload: w,
+		Strategy: unimem.Unimem(),
+		Options:  unimem.Options{Trace: tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Result.TimeNS != traced.Result.TimeNS {
+		t.Fatalf("traced run changed simulated time: %d != %d",
+			traced.Result.TimeNS, plain.Result.TimeNS)
+	}
+	a, err := json.Marshal(plain.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(traced.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("traced run produced a different Result document:\nplain:  %s\ntraced: %s", a, b)
+	}
+
+	// And the trace itself must have recorded the run: virtual-clock
+	// phase spans and at least one iteration span.
+	var phases, iters int
+	for _, e := range tr.Events() {
+		switch e.Cat {
+		case "phase":
+			phases++
+		case "iteration":
+			iters++
+		}
+	}
+	if phases == 0 || iters == 0 {
+		t.Fatalf("trace recorded %d phase and %d iteration spans (want both > 0, %d events total)",
+			phases, iters, len(tr.Events()))
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"unimem/internal/exp"
 	"unimem/internal/machine"
 	"unimem/internal/model"
+	"unimem/internal/obs"
 	"unimem/internal/phase"
 	"unimem/internal/scenario"
 	"unimem/internal/workloads"
@@ -131,8 +132,21 @@ type Workload = workloads.Workload
 // migration statistics, phase profile.
 type Result = app.Result
 
-// Options configures a run (world size, seed, materialization cap).
+// Options configures a run (world size, seed, materialization cap,
+// optional trace recorder).
 type Options = app.Options
+
+// Trace is a per-run span recorder: attach one via Options.Trace (or
+// Job.Options.Trace) and the harness, the Unimem runtime and the engine
+// record a timeline — setup, each phase and iteration, placement
+// decisions, migrations, reprofile triggers — against both the simulated
+// virtual clock and the wall clock. Export it with WriteChrome as Chrome
+// trace-event JSON (loadable in chrome://tracing or Perfetto). Tracing
+// never changes simulated time or results.
+type Trace = obs.Trace
+
+// NewTrace returns an empty trace recorder whose wall-clock origin is now.
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // Run executes the workload on machine m under the Unimem runtime and
 // returns the result together with the per-rank runtimes (in rank order)
