@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"unimem/internal/mpisim/simprog"
+	"unimem/internal/serve"
+)
+
+// This file is the -check perf-regression gate: it compares a freshly-run
+// benchmark document against the committed BENCH_*.json baseline and
+// fails (exit 1) on regression, so the perf trajectory the repo records
+// is enforced rather than write-only. Comparisons deliberately avoid
+// absolute wall-clock figures — CI machines differ from the machine that
+// produced the baseline — and gate only on quantities that are stable
+// across hardware:
+//
+//   - mpisim: the event-vs-oracle per-core speedup ratio (both engines
+//     run on the same machine in the same process, so the ratio cancels
+//     the machine out) and the event core's allocations per world
+//     (deterministic counts, not timings).
+//   - serve: the paired-median instrumentation overhead, against a fixed
+//     absolute budget rather than the baseline's (possibly negative)
+//     noise-level figure.
+//
+// The tolerance is generous on purpose: the gate exists to catch real
+// regressions (an accidental O(ranks²) reintroduction, a lock on the
+// request path), not to flake on scheduler jitter.
+
+// checkTolerance is the relative band on baseline comparisons: a ratio
+// may degrade to (1 - checkTolerance) of baseline, allocations may grow
+// to (1 + checkTolerance).
+const checkTolerance = 0.5
+
+// maxServeOverheadPct is the absolute request-path overhead budget for
+// -bench serve -check, slightly above the documented ≤2% target to
+// absorb measurement noise around the budget line.
+const maxServeOverheadPct = 2.5
+
+// loadBaseline decodes the committed baseline document at path into dst.
+func loadBaseline(path string, dst interface{}) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	if err := json.Unmarshal(b, dst); err != nil {
+		return fmt.Errorf("decoding baseline %s: %w", path, err)
+	}
+	return nil
+}
+
+// checkMpisim gates a fresh mpisim run against the committed baseline.
+// Returns the violations found (empty: pass).
+func checkMpisim(cur, base *simprog.BenchDoc) []string {
+	var bad []string
+	// Event-vs-oracle speedup ratios: per-core throughput of the event
+	// engine over the retired oracle engine, per benchmark cell. Both
+	// sides of each ratio ran on the same machine, so baseline and
+	// current are directly comparable across hardware.
+	for name, baseRatio := range base.SpeedupPerCore {
+		curRatio, ok := cur.SpeedupPerCore[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("mpisim %s: cell present in baseline but missing from this run", name))
+			continue
+		}
+		if floor := baseRatio * (1 - checkTolerance); curRatio < floor {
+			bad = append(bad, fmt.Sprintf(
+				"mpisim %s: event-vs-oracle per-core speedup %.2fx below %.2fx (baseline %.2fx - %.0f%%)",
+				name, curRatio, floor, baseRatio, checkTolerance*100))
+		}
+	}
+	// Event-core allocations per world: deterministic allocation counts,
+	// the cheapest machine-independent signal of an accidental per-rank
+	// or per-message allocation regression.
+	baseAllocs := map[string]float64{}
+	for _, r := range base.Results {
+		if r.Engine == "event" {
+			baseAllocs[r.Name] = r.AllocsPerWorld
+		}
+	}
+	for _, r := range cur.Results {
+		if r.Engine != "event" {
+			continue
+		}
+		b, ok := baseAllocs[r.Name]
+		if !ok || b <= 0 {
+			continue
+		}
+		if ceil := b * (1 + checkTolerance); r.AllocsPerWorld > ceil {
+			bad = append(bad, fmt.Sprintf(
+				"mpisim %s: %.1f allocs/world above %.1f (baseline %.1f + %.0f%%)",
+				r.Name, r.AllocsPerWorld, ceil, b, checkTolerance*100))
+		}
+	}
+	return bad
+}
+
+// checkServe gates a fresh serve run against the fixed overhead budget.
+func checkServe(cur *serve.BenchDoc) []string {
+	if cur.OverheadPct > maxServeOverheadPct {
+		return []string{fmt.Sprintf(
+			"serve: request-path instrumentation overhead %.2f%% exceeds the %.1f%% budget",
+			cur.OverheadPct, maxServeOverheadPct)}
+	}
+	return nil
+}
+
+// runCheck loads the committed baseline for mode and compares the fresh
+// document against it, reporting verdicts to stderr. Returns the exit
+// code (0 pass, 1 regression).
+func runCheck(mode string, doc interface{}, baselinePath string) int {
+	var bad []string
+	switch mode {
+	case "mpisim":
+		var base simprog.BenchDoc
+		if err := loadBaseline(baselinePath, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "-check: %v\n", err)
+			return 1
+		}
+		bad = checkMpisim(doc.(*simprog.BenchDoc), &base)
+	case "serve":
+		// The serve gate is an absolute budget; the baseline file is not
+		// consulted (its overhead figure is noise around zero).
+		bad = checkServe(doc.(*serve.BenchDoc))
+	}
+	if len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintf(os.Stderr, "-check FAIL: %s\n", msg)
+		}
+		return 1
+	}
+	if mode == "serve" {
+		fmt.Fprintf(os.Stderr, "-check PASS: serve overhead within the %.1f%% budget\n", maxServeOverheadPct)
+	} else {
+		fmt.Fprintf(os.Stderr, "-check PASS: %s within tolerance of %s\n", mode, baselinePath)
+	}
+	return 0
+}

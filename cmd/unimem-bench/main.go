@@ -73,8 +73,12 @@ type document struct {
 	Summary summary      `json:"summary"`
 }
 
-// writeBenchDoc encodes a benchmark document to out ("-" for stdout).
+// writeBenchDoc encodes a benchmark document to out ("-" for stdout, ""
+// to skip writing — the -check default).
 func writeBenchDoc(doc interface{}, out string) error {
+	if out == "" {
+		return nil
+	}
 	f := os.Stdout
 	if out != "-" {
 		var err error
@@ -92,7 +96,7 @@ func writeBenchDoc(doc interface{}, out string) error {
 // micro/macro benchmarks on both engines, "serve" runs the HTTP
 // observability-overhead comparison. Progress goes to stderr; stdout
 // stays silent (the experiment-golden discipline).
-func runBenchMode(mode string, quick bool, out string) int {
+func runBenchMode(mode string, quick bool, out string, check bool, baseline string) int {
 	logf := func(format string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
@@ -110,6 +114,9 @@ func runBenchMode(mode string, quick bool, out string) int {
 		}
 		fmt.Fprintf(os.Stderr, "%d benchmark cells in %v; per-core speedups event-vs-oracle: %v\n",
 			len(doc.Results), time.Since(start).Round(time.Millisecond), doc.SpeedupPerCore)
+		if check {
+			return runCheck(mode, doc, baseline)
+		}
 		return 0
 	case "serve":
 		doc, err := serve.RunServeBench(quick, logf)
@@ -123,6 +130,9 @@ func runBenchMode(mode string, quick bool, out string) int {
 		}
 		fmt.Fprintf(os.Stderr, "serve bench done in %v; metrics overhead %.2f%%\n",
 			time.Since(start).Round(time.Millisecond), doc.OverheadPct)
+		if check {
+			return runCheck(mode, doc, baseline)
+		}
 		return 0
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -bench mode %q (want mpisim or serve)\n", mode)
@@ -132,29 +142,47 @@ func runBenchMode(mode string, quick bool, out string) int {
 
 func main() {
 	var (
-		expID    = flag.String("exp", "all", "experiment id (see -list), comma-separated list, or 'all'")
-		class    = flag.String("class", "C", "NPB class for the basic tests (A/B/C/D)")
-		ranks    = flag.Int("ranks", 4, "MPI world size")
-		seed     = flag.Uint64("seed", 0xD07, "deterministic seed")
-		quick    = flag.Bool("quick", false, "cap iteration counts (fast, less faithful)")
-		fleet    = flag.Int("fleet", 0, "scenarios per archetype for -exp scenariofleet (0: default 4)")
-		parallel = flag.Bool("parallel", false, "fan experiment cells across GOMAXPROCS workers")
-		workersN = flag.Int("workers", 0, "worker-pool width (overrides -parallel; 1 = serial)")
-		csv      = flag.String("csv", "", "also write results as CSV to this file")
-		jsonOut  = flag.String("json", "", "write results as JSON to this file ('-' for stdout, suppressing tables)")
-		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0: no limit)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		bench    = flag.String("bench", "", "benchmark mode instead of experiments: 'mpisim' (engine) or 'serve' (HTTP observability overhead)")
-		benchOut = flag.String("bench-out", "", "benchmark JSON destination for -bench (default BENCH_<mode>.json)")
+		expID     = flag.String("exp", "all", "experiment id (see -list), comma-separated list, or 'all'")
+		class     = flag.String("class", "C", "NPB class for the basic tests (A/B/C/D)")
+		ranks     = flag.Int("ranks", 4, "MPI world size")
+		seed      = flag.Uint64("seed", 0xD07, "deterministic seed")
+		quick     = flag.Bool("quick", false, "cap iteration counts (fast, less faithful)")
+		fleet     = flag.Int("fleet", 0, "scenarios per archetype for -exp scenariofleet (0: default 4)")
+		parallel  = flag.Bool("parallel", false, "fan experiment cells across GOMAXPROCS workers")
+		workersN  = flag.Int("workers", 0, "worker-pool width (overrides -parallel; 1 = serial)")
+		csv       = flag.String("csv", "", "also write results as CSV to this file")
+		jsonOut   = flag.String("json", "", "write results as JSON to this file ('-' for stdout, suppressing tables)")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0: no limit)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		bench     = flag.String("bench", "", "benchmark mode instead of experiments: 'mpisim' (engine) or 'serve' (HTTP observability overhead)")
+		benchOut  = flag.String("bench-out", "", "benchmark JSON destination for -bench (default BENCH_<mode>.json)")
+		check     = flag.Bool("check", false, "with -bench: gate the fresh run against the committed baseline and exit 1 on regression")
+		checkBase = flag.String("check-baseline", "", "baseline JSON for -check (default BENCH_<mode>.json)")
 	)
 	flag.Parse()
 
+	if *check && *bench == "" {
+		fmt.Fprintln(os.Stderr, "-check requires -bench mpisim or -bench serve")
+		os.Exit(2)
+	}
 	if *bench != "" {
 		out := *benchOut
-		if out == "" {
+		if out == "" && !*check {
+			// In -check mode the default is to write nothing: the committed
+			// BENCH_<mode>.json is the baseline being compared against, and
+			// defaulting the output onto it would overwrite the baseline
+			// before the comparison reads it.
 			out = "BENCH_" + *bench + ".json"
 		}
-		os.Exit(runBenchMode(*bench, *quick, out))
+		baseline := *checkBase
+		if baseline == "" {
+			baseline = "BENCH_" + *bench + ".json"
+		}
+		if *check && out == baseline {
+			fmt.Fprintf(os.Stderr, "-bench-out and -check-baseline are both %s; the fresh run would overwrite its own baseline\n", out)
+			os.Exit(2)
+		}
+		os.Exit(runBenchMode(*bench, *quick, out, *check, baseline))
 	}
 
 	order, reg := exp.Registry()

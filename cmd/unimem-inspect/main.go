@@ -15,6 +15,7 @@
 //	unimem-inspect -scenario drift.json -nvm lat4
 //	unimem-inspect -gen hot-rotation -seed 7
 //	unimem-inspect -workload CG -trace out.json   (Chrome trace of the run)
+//	unimem-inspect -workload CG -explain          (decision-attribution report)
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		platform = flag.String("platform", "a", "platform: a (paper two-tier)|knl|cxl|hbm-ddr-nvm")
 		dram     = flag.Int64("dram-mb", 0, "fastest-tier capacity in MiB (0: platform default; two-tier default 256)")
 		traceOut = flag.String("trace", "", "write the Unimem run's span timeline as Chrome trace-event JSON to this file (open in chrome://tracing)")
+		explain  = flag.Bool("explain", false, "print the Unimem run's decision-attribution report: per-phase cost terms, alternatives, migrations, regret")
 	)
 	flag.Parse()
 
@@ -148,10 +150,14 @@ func main() {
 	if *traceOut != "" {
 		tr = unimem.NewTrace()
 	}
+	var ex *unimem.Explain
+	if *explain {
+		ex = unimem.NewExplain()
+	}
 	uniOut, err := sess.RunJob(ctx, unimem.Job{
 		Workload: w,
 		Strategy: unimem.Unimem(),
-		Options:  unimem.Options{Trace: tr},
+		Options:  unimem.Options{Trace: tr, Explain: ex},
 	})
 	check(err)
 	res, rts := uniOut.Tiered(), uniOut.Runtimes
@@ -239,6 +245,87 @@ func main() {
 	for i, d := range res.PhaseNS {
 		fmt.Printf("  %-16s %10.2fms  (%s)\n",
 			w.Phases[i].Name, d/1e6, w.Phases[i].Kind)
+	}
+
+	if doc := uniOut.Explain; doc != nil {
+		printExplain(doc)
+	}
+}
+
+// printExplain renders the attribution document: every placement decision
+// with its per-phase cost-term breakdown and rejected alternatives, the
+// migration audit trail, and the regret summary.
+func printExplain(doc *unimem.ExplainDoc) {
+	fmt.Printf("\nexplain: %s on %s (%s, %d iterations)\n",
+		doc.Workload, doc.Machine, doc.Strategy, doc.Iterations)
+	for _, d := range doc.Decisions {
+		fmt.Printf("\ndecision %d @iter %d  trigger=%s solver=%s model-cost=%.1fµs\n",
+			d.Decision, d.Iter, d.Trigger, d.Solver, d.ModelNS/1e3)
+		switch {
+		case d.PredictedIterNS > 0:
+			fmt.Printf("  predicted iteration %.3fms (oracle static %.3fms)\n",
+				d.PredictedIterNS/1e6, d.OracleIterNS/1e6)
+		case d.TotalWeightNS > 0:
+			fmt.Printf("  knapsack objective %.3fms (oracle static iteration %.3fms)\n",
+				d.TotalWeightNS/1e6, d.OracleIterNS/1e6)
+		}
+		for _, ph := range d.Phases {
+			fmt.Printf("  phase %d %-16s %-8s %8.2fms  chosen benefit %.3fms\n",
+				ph.Phase, ph.Name, ph.Kind, ph.DurNS/1e6, ph.BenefitNS/1e6)
+			for _, c := range ph.Chunks {
+				mark := " "
+				if c.Chosen {
+					mark = "*"
+				}
+				fmt.Printf("    %s %-12s %-10s %6.1fGB/s  benefit %8.3fms\n",
+					mark, c.Chunk, c.Sensitivity, c.BWBps/1e9, c.BenefitNS/1e6)
+			}
+		}
+		if len(d.Alternatives) > 0 {
+			fmt.Println("  alternatives:")
+			for _, a := range d.Alternatives {
+				mark := " "
+				if a.Chosen {
+					mark = "*"
+				}
+				fmt.Printf("    %s %-20s predicted %8.3fms  delta %+8.3fms  moves %d\n",
+					mark, a.Strategy, a.PredictedIterNS/1e6, a.DeltaNS/1e6, a.Moves)
+			}
+		}
+		if len(d.Rejected) > 0 {
+			fmt.Println("  rejected placements (capacity-denied, best tier first):")
+			for _, rj := range d.Rejected {
+				fmt.Printf("    %-12s held at tier %d, wanted tier %d  forgone %.3fms/iter\n",
+					rj.Chunk, rj.ChosenTier, rj.BestTier, rj.DeltaNS/1e6)
+			}
+		}
+	}
+	if len(doc.Migrations) > 0 {
+		fmt.Printf("\nmigrations (%d):\n", len(doc.Migrations))
+		for _, mg := range doc.Migrations {
+			line := fmt.Sprintf("  %-12s %s->%s %6dKiB  trigger=%-12s predicted %8.3fms realized %8.3fms",
+				mg.Chunk, mg.From, mg.To, mg.Bytes>>10, mg.Trigger,
+				mg.PredictedNS/1e6, float64(mg.RealizedNS)/1e6)
+			if mg.Failed {
+				line += "  FAILED"
+				if mg.Error != "" {
+					line += " (" + mg.Error + ")"
+				}
+			}
+			fmt.Println(line)
+		}
+	}
+	if len(doc.Reprofiles) > 0 {
+		fmt.Println("\nreprofiles:")
+		for _, rp := range doc.Reprofiles {
+			fmt.Printf("  iter %d phase %-16s variation %.1f%% > %.0f%% threshold\n",
+				rp.Iter, rp.Phase, rp.Variation*100, rp.Threshold*100)
+		}
+	}
+	if rg := doc.Regret; rg != nil {
+		fmt.Printf("\nregret: realized %.2fms vs oracle-best static %.2fms -> %+.2fms (%+.2f%%)\n",
+			float64(rg.RealizedNS)/1e6, float64(rg.OracleNS)/1e6,
+			float64(rg.RegretNS)/1e6, rg.RegretFrac*100)
 	}
 }
 

@@ -1,7 +1,9 @@
 // Command unimem-serve is the library's HTTP/JSON daemon: a pool of
 // Sessions (one per platform fingerprint) over a sharded, bounded,
-// disk-persistent run cache, answering /run, /batch, /fleet, /stats and
-// /metrics (Prometheus text exposition).
+// disk-persistent run cache, answering /run, /batch, /fleet, /stats,
+// /metrics (Prometheus text exposition) and /debug/runs (the recent-run
+// audit ring). POST /run?explain=1 attaches the run's decision-
+// attribution document to the response.
 //
 //	unimem-serve -addr :8080 -cache-dir /var/lib/unimem -max-entries 4096
 //	unimem-serve -addr :8080 -log-level debug -debug-addr 127.0.0.1:6060
@@ -74,8 +76,9 @@ func main() {
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		logLevel   = flag.String("log-level", "info", "structured request-log threshold: debug, info, warn or error")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this private address (empty: disabled)")
-		noMetrics  = flag.Bool("no-metrics", false, "disable the /metrics registry and latency histograms")
+		noMetrics  = flag.Bool("no-metrics", false, "disable the /metrics registry, latency histograms and the /debug/runs ring")
 		slowReq    = flag.Duration("slow-request", 0, "warn-log requests slower than this (0: 30s default)")
+		debugRuns  = flag.Int("debug-runs", 0, "size of the /debug/runs recent-run ring (0: 64)")
 	)
 	flag.Parse()
 
@@ -87,17 +90,18 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv, err := serve.New(serve.Config{
-		CacheDir:       *cacheDir,
-		MaxEntries:     *maxEntries,
-		MaxBytes:       *maxBytes,
-		Workers:        *workers,
-		Window:         *window,
-		Quick:          *quick,
-		Seed:           *seed,
-		Logf:           log.Printf,
-		Logger:         logger,
-		DisableMetrics: *noMetrics,
-		SlowRequest:    *slowReq,
+		CacheDir:        *cacheDir,
+		MaxEntries:      *maxEntries,
+		MaxBytes:        *maxBytes,
+		Workers:         *workers,
+		Window:          *window,
+		Quick:           *quick,
+		Seed:            *seed,
+		Logf:            log.Printf,
+		Logger:          logger,
+		DisableMetrics:  *noMetrics,
+		SlowRequest:     *slowReq,
+		DebugRunHistory: *debugRuns,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unimem-serve: %v\n", err)

@@ -1,0 +1,128 @@
+package unimem_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"unimem"
+)
+
+// TestExplainDoesNotPerturbRun extends the trace invariant to the
+// attribution layer: attaching an Explain recorder must not change the
+// simulation by one nanosecond. The full Result documents of an
+// explained and a plain run must be identical.
+func TestExplainDoesNotPerturbRun(t *testing.T) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	w := unimem.NewNPB("CG", "A", 2)
+	sess := unimem.New(m, unimem.WithQuick())
+	ctx := context.Background()
+
+	plain, err := sess.RunJob(ctx, unimem.Job{Workload: w, Strategy: unimem.Unimem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Explain != nil {
+		t.Fatal("plain run carries an explain document")
+	}
+	ex := unimem.NewExplain()
+	explained, err := sess.RunJob(ctx, unimem.Job{
+		Workload: w,
+		Strategy: unimem.Unimem(),
+		Options:  unimem.Options{Explain: ex},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Result.TimeNS != explained.Result.TimeNS {
+		t.Fatalf("explained run changed simulated time: %d != %d",
+			explained.Result.TimeNS, plain.Result.TimeNS)
+	}
+	a, err := json.Marshal(plain.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(explained.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("explained run produced a different Result document:\nplain:     %s\nexplained: %s", a, b)
+	}
+
+	// The outcome's snapshot and the recorder agree, and the document
+	// carries the attribution a CG run must produce: at least one
+	// placement decision with per-chunk term breakdowns and at least one
+	// scored alternative, migrations with triggers, and a regret record
+	// against the oracle-best static placement.
+	doc := explained.Explain
+	if doc == nil {
+		t.Fatal("explained run carries no explain document")
+	}
+	if len(doc.Decisions) == 0 {
+		t.Fatal("no placement decisions recorded")
+	}
+	d := doc.Decisions[0]
+	var chunkTerms int
+	for _, ph := range d.Phases {
+		chunkTerms += len(ph.Chunks)
+	}
+	if chunkTerms == 0 {
+		t.Error("decision has no per-chunk term breakdowns")
+	}
+	if len(d.Alternatives) == 0 && len(d.Rejected) == 0 {
+		t.Error("no rejected alternatives recorded")
+	}
+	if len(doc.Migrations) == 0 {
+		t.Fatal("no migrations recorded")
+	}
+	for _, mg := range doc.Migrations {
+		if mg.Trigger == "" {
+			t.Errorf("migration of %q has no trigger", mg.Chunk)
+		}
+	}
+	if doc.Regret == nil {
+		t.Fatal("no regret record")
+	}
+	if doc.Regret.RealizedNS != explained.Result.TimeNS {
+		t.Errorf("regret realized = %d, want the run's %d",
+			doc.Regret.RealizedNS, explained.Result.TimeNS)
+	}
+	if doc.Regret.OracleNS <= 0 {
+		t.Errorf("oracle-best static time = %d, want > 0", doc.Regret.OracleNS)
+	}
+}
+
+// TestExplainBaselineStrategies asserts baseline (cached) strategies also
+// finish their document: no decisions or migrations, but workload
+// identity and realized time are attributed.
+func TestExplainBaselineStrategies(t *testing.T) {
+	m := unimem.PlatformA().WithNVMBandwidthFraction(0.5)
+	w := unimem.NewNPB("CG", "A", 2)
+	sess := unimem.New(m, unimem.WithQuick())
+
+	ex := unimem.NewExplain()
+	out, err := sess.RunJob(context.Background(), unimem.Job{
+		Workload: w,
+		Strategy: unimem.DRAMOnly(),
+		Options:  unimem.Options{Explain: ex},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := out.Explain
+	if doc == nil {
+		t.Fatal("baseline run carries no explain document")
+	}
+	if doc.Workload != "CG" {
+		t.Errorf("workload = %q, want CG", doc.Workload)
+	}
+	if doc.RealizedNS != out.Result.TimeNS {
+		t.Errorf("realized = %d, want %d", doc.RealizedNS, out.Result.TimeNS)
+	}
+	if len(doc.Decisions) != 0 || len(doc.Migrations) != 0 {
+		t.Errorf("baseline run recorded %d decisions and %d migrations, want none",
+			len(doc.Decisions), len(doc.Migrations))
+	}
+}

@@ -36,6 +36,11 @@ type RankCtx struct {
 	// manager (phases, placement solves, migrations) against the rank's
 	// virtual clock. Nil in normal runs; never affects simulated time.
 	Trace *obs.Trace
+	// Explain, when non-nil, receives decision-attribution records from
+	// the manager (cost-model term breakdowns, migration audit entries,
+	// re-profile triggers). Nil in normal runs; never affects simulated
+	// time.
+	Explain *obs.Explain
 }
 
 // Manager is a data-placement policy driving one rank's heap. The harness
@@ -76,6 +81,12 @@ type Options struct {
 	// Chrome trace-event export. Tracing never changes simulated time or
 	// results; it is excluded from run-cache keys.
 	Trace *obs.Trace
+	// Explain, when non-nil, records rank 0's decision attribution: the
+	// per-phase cost-model term breakdown behind every placement decision,
+	// every migration with its trigger and realized cost, and the regret
+	// baseline. Like Trace it never changes simulated time or results and
+	// is excluded from run-cache keys.
+	Explain *obs.Explain
 }
 
 func (o *Options) fill(w *workloads.Workload) {
@@ -200,9 +211,10 @@ func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts
 		})
 		rc := &RankCtx{Rank: rank, Mach: m, Heap: heap, Comm: c, W: w}
 		if rank == 0 {
-			// Rank 0 is the traced rank: one representative timeline
-			// instead of P near-identical ones.
+			// Rank 0 is the traced (and explained) rank: one representative
+			// timeline instead of P near-identical ones.
 			rc.Trace = opts.Trace
+			rc.Explain = opts.Explain
 		}
 		mgr := mf(rank)
 		if rank == 0 {

@@ -144,6 +144,27 @@ type Runtime struct {
 	// explicitDeps holds programmer-declared cross-phase dependences
 	// (directive API, §3.3): chunk -> extra phase IDs that reference it.
 	explicitDeps map[string][]int
+
+	// expl receives this rank's decision attribution (nil when disabled:
+	// every capture site below guards on it, so the disabled path costs
+	// one pointer check).
+	expl *obs.Explain
+	// adoptTrigger classifies the current decision's one-time moves for
+	// the migration audit trail: "adoption" for the first decision,
+	// "reprofile" for re-decisions after drift.
+	adoptTrigger string
+	// moveMeta joins mover tickets to their enqueue-time audit metadata
+	// (trigger kind, Eq. 4 predicted copy time); entries are consumed by
+	// the completion observer. Enqueues and completions both happen on
+	// the main rank goroutine (completions apply at Drain/Sync/Stop), so
+	// the map needs no lock.
+	moveMeta map[uint64]moveMeta
+}
+
+// moveMeta is the enqueue-time metadata of one audited migration.
+type moveMeta struct {
+	trigger     string
+	predictedNS float64
 }
 
 // NewRuntime returns a Unimem runtime for one rank.
@@ -163,6 +184,7 @@ func NewRuntime(rank int, cfg Config) *Runtime {
 		chunkByName:   make(map[string]*memsys.Chunk),
 		chunkSize:     make(map[string]int64),
 		explicitDeps:  make(map[string][]int),
+		moveMeta:      make(map[uint64]moveMeta),
 	}
 }
 
@@ -224,9 +246,25 @@ func (r *Runtime) Setup(ctx *app.RankCtx) error {
 	r.heap = ctx.Heap
 	r.sampler = counters.NewSampler(ctx.Mach, r.cfg.Counters, r.cfg.Seed^uint64(r.rank)*0x9E37)
 	r.mov = mover.New(ctx.Heap)
-	if tr := ctx.Trace; tr != nil {
+	r.expl = ctx.Explain
+	if tr, ex := ctx.Trace, ctx.Explain; tr != nil || ex != nil {
 		rank := r.rank
 		r.mov.SetObserver(func(c mover.Completion) {
+			if ex != nil {
+				meta := r.moveMeta[c.Req.Seq()]
+				delete(r.moveMeta, c.Req.Seq())
+				rec := obs.MigrationRecord{
+					Chunk: c.Req.Chunk.Name(), From: c.From.String(), To: c.Req.To.String(),
+					Bytes: c.BytesMoved, Trigger: meta.trigger,
+					StartNS: c.StartNS, EndNS: c.EndNS,
+					PredictedNS: meta.predictedNS, RealizedNS: c.EndNS - c.StartNS,
+				}
+				if c.Err != nil {
+					rec.Failed = true
+					rec.Error = c.Err.Error()
+				}
+				ex.AddMigration(rec)
+			}
 			if c.Err != nil {
 				tr.Instant(obs.Virtual, rank, "migration failed", "mover", c.StartNS,
 					map[string]any{"chunk": c.Req.Chunk.Name(), "error": c.Err.Error()})
@@ -370,13 +408,13 @@ func (r *Runtime) enforceAt(ctx *app.RankCtx, pid int) {
 	if moves := r.oneShot[pid]; len(moves) > 0 {
 		delete(r.oneShot, pid)
 		for _, mv := range moves {
-			r.enqueueMove(ctx, mv)
+			r.enqueueMove(ctx, mv, r.adoptTrigger)
 		}
 	}
 	if moves := r.oneShotTiered[pid]; len(moves) > 0 {
 		delete(r.oneShotTiered, pid)
 		for _, mv := range moves {
-			r.enqueueTieredMove(ctx, mv)
+			r.enqueueTieredMove(ctx, mv, r.adoptTrigger)
 		}
 	}
 	if r.plan == nil {
@@ -386,7 +424,7 @@ func (r *Runtime) enforceAt(ctx *app.RankCtx, pid int) {
 		if mv.TriggerPhase != pid {
 			continue
 		}
-		r.enqueueMove(ctx, mv)
+		r.enqueueMove(ctx, mv, "steady-state")
 	}
 }
 
@@ -399,22 +437,28 @@ type tieredMove struct {
 }
 
 // enqueueTieredMove posts a tiered adoption move to the helper thread,
-// skipping chunks already in place.
-func (r *Runtime) enqueueTieredMove(ctx *app.RankCtx, mv tieredMove) {
+// skipping chunks already in place. trigger classifies the move for the
+// migration audit trail.
+func (r *Runtime) enqueueTieredMove(ctx *app.RankCtx, mv tieredMove, trigger string) {
 	c := r.chunkByName[mv.chunk]
 	if c == nil {
 		return
 	}
-	if r.heap.TierOf(c) == mv.to {
+	from := r.heap.TierOf(c)
+	if from == mv.to {
 		return
 	}
 	seq := r.mov.Enqueue(c, mv.to, ctx.Comm.Clock())
+	if r.expl != nil {
+		r.moveMeta[seq] = moveMeta{trigger: trigger,
+			predictedNS: r.mach.CopyTimeBetweenNS(from, mv.to, c.Size)}
+	}
 	if mv.target >= 0 && seq > r.pendingSeq[mv.target] {
 		r.pendingSeq[mv.target] = seq
 	}
 }
 
-func (r *Runtime) enqueueMove(ctx *app.RankCtx, mv placement.Move) {
+func (r *Runtime) enqueueMove(ctx *app.RankCtx, mv placement.Move, trigger string) {
 	c := r.chunkByName[mv.Chunk]
 	if c == nil {
 		return
@@ -423,10 +467,15 @@ func (r *Runtime) enqueueMove(ctx *app.RankCtx, mv placement.Move) {
 	if mv.ToDRAM {
 		want = machine.DRAM
 	}
-	if r.heap.TierOf(c) == want {
+	from := r.heap.TierOf(c)
+	if from == want {
 		return
 	}
 	seq := r.mov.Enqueue(c, want, ctx.Comm.Clock())
+	if r.expl != nil {
+		r.moveMeta[seq] = moveMeta{trigger: trigger,
+			predictedNS: r.mach.CopyTimeBetweenNS(from, want, c.Size)}
+	}
 	if mv.ToDRAM {
 		if seq > r.pendingSeq[mv.TargetPhase] {
 			r.pendingSeq[mv.TargetPhase] = seq
@@ -470,6 +519,10 @@ func (r *Runtime) PhaseEnd(ctx *app.RankCtx, durNS float64, traffic []counters.C
 			ctx.Trace.Instant(obs.Virtual, r.rank, "reprofile scheduled", "unimem",
 				ctx.Comm.Clock(), map[string]any{"iter": r.reg.Iter(), "variation": rel})
 		}
+		r.expl.AddReprofile(obs.ReprofileRecord{
+			Iter: r.reg.Iter(), Phase: p.Name,
+			Variation: rel, Threshold: r.cfg.VariationThreshold,
+		})
 	}
 }
 
@@ -502,6 +555,10 @@ func (r *Runtime) decide(ctx *app.RankCtx) {
 		NoHysteresis:   r.cfg.NoHysteresis,
 	}
 	var modelOps int
+	var terms [][]obs.ChunkTerm
+	if r.expl != nil {
+		terms = make([][]obs.ChunkTerm, len(phases))
+	}
 	for i, p := range phases {
 		pd := placement.PhaseData{DurNS: p.ProfiledNS, Benefit: make(map[string]float64)}
 		if p.Profile != nil {
@@ -515,6 +572,12 @@ func (r *Runtime) decide(ctx *app.RankCtx) {
 					pd.Benefit[s.Chunk] += est.BenefitNS
 				}
 				modelOps++
+				if terms != nil {
+					terms[i] = append(terms[i], obs.ChunkTerm{
+						Chunk: s.Chunk, Sensitivity: est.Sens.String(),
+						BWBps: est.BWBps, BenefitNS: est.BenefitNS,
+					})
+				}
 			}
 		}
 		in.Phases[i] = pd
@@ -537,6 +600,33 @@ func (r *Runtime) decide(ctx *app.RankCtx) {
 			map[string]any{"solver": string(r.plan.Strategy), "model_ops": modelOps,
 				"decision": r.Decisions, "adoption_moves": len(r.plan.Adoption)})
 	}
+	r.adoptTrigger = decisionTrigger(r.Decisions)
+	if r.expl != nil {
+		rec := obs.DecisionRecord{
+			Decision: r.Decisions, Iter: r.reg.Iter(), Trigger: r.adoptTrigger,
+			Solver: string(r.plan.Strategy), PredictedIterNS: r.plan.PredictedIterNS,
+			OracleIterNS: placement.OracleStaticNS(in), ModelNS: modelNS,
+		}
+		for i, p := range phases {
+			tb := obs.TermBreakdown{Phase: p.ID, Name: p.Name, Kind: p.Kind.String(), DurNS: p.ProfiledNS}
+			for _, ct := range terms[i] {
+				ct.Chosen = r.plan.Desired[i][ct.Chunk]
+				if ct.Chosen {
+					tb.BenefitNS += ct.BenefitNS
+				}
+				tb.Chunks = append(tb.Chunks, ct)
+			}
+			rec.Phases = append(rec.Phases, tb)
+		}
+		for _, p := range r.Candidates {
+			rec.Alternatives = append(rec.Alternatives, obs.AlternativeRecord{
+				Strategy: string(p.Strategy), PredictedIterNS: p.PredictedIterNS,
+				DeltaNS: p.PredictedIterNS - r.plan.PredictedIterNS,
+				Moves:   len(p.Adoption) + len(p.Schedule), Chosen: p == r.plan,
+			})
+		}
+		r.expl.AddDecision(rec)
+	}
 
 	// Rebaseline the variation monitor: durations will shift under the new
 	// placement.
@@ -552,7 +642,7 @@ func (r *Runtime) decide(ctx *app.RankCtx) {
 	// first referencing phase of the iteration after.
 	for _, mv := range r.plan.Adoption {
 		if !mv.ToDRAM {
-			r.enqueueMove(ctx, mv)
+			r.enqueueMove(ctx, mv, r.adoptTrigger)
 			continue
 		}
 		target := r.firstReferencing(mv.Chunk)
@@ -610,7 +700,11 @@ func (r *Runtime) decideTiered(ctx *app.RankCtx) {
 	benefit := make(map[string][]float64)
 	var iterNS float64
 	var modelOps int
-	for _, p := range phases {
+	var terms [][]obs.ChunkTerm
+	if r.expl != nil {
+		terms = make([][]obs.ChunkTerm, len(phases))
+	}
+	for pi, p := range phases {
 		iterNS += p.ProfiledNS
 		if p.Profile == nil {
 			continue
@@ -629,6 +723,16 @@ func (r *Runtime) decideTiered(ctx *app.RankCtx) {
 				est := r.mcfg.EstimateChunkAt(m, s, p.Profile, profTier, slow, machine.TierKind(t))
 				b[t] += est.BenefitNS
 				modelOps++
+				if terms != nil && t == 0 {
+					// Attribution records the fastest-tier estimate: the
+					// Eq. 1 classification is tier-independent, and the
+					// fastest tier's Eq. 2/3 figure is the chunk's benefit
+					// ceiling.
+					terms[pi] = append(terms[pi], obs.ChunkTerm{
+						Chunk: s.Chunk, Sensitivity: est.Sens.String(),
+						BWBps: est.BWBps, BenefitNS: est.BenefitNS,
+					})
+				}
 			}
 		}
 	}
@@ -682,6 +786,10 @@ func (r *Runtime) decideTiered(ctx *app.RankCtx) {
 			map[string]any{"solver": r.tierPlan.Solver, "model_ops": modelOps,
 				"decision": r.Decisions, "tiers": nTiers})
 	}
+	r.adoptTrigger = decisionTrigger(r.Decisions)
+	if r.expl != nil {
+		r.explainTiered(phases, terms, items, benefit, current, caps, iterNS, modelNS)
+	}
 
 	// Rebaseline the variation monitor.
 	r.decisionIter = r.reg.Iter()
@@ -700,7 +808,7 @@ func (r *Runtime) decideTiered(ctx *app.RankCtx) {
 		if want > cur {
 			// Demotion: freeing contended fast-tier space early is always
 			// safe.
-			r.enqueueTieredMove(ctx, tieredMove{chunk: it.Chunk, to: want, target: -1})
+			r.enqueueTieredMove(ctx, tieredMove{chunk: it.Chunk, to: want, target: -1}, r.adoptTrigger)
 			continue
 		}
 		target := r.firstReferencing(it.Chunk)
@@ -709,6 +817,88 @@ func (r *Runtime) decideTiered(ctx *app.RankCtx) {
 			tieredMove{chunk: it.Chunk, to: want, target: target})
 	}
 }
+
+// decisionTrigger classifies what prompted the n-th decision: the first
+// profiled iteration, or the variation monitor's drift detection.
+func decisionTrigger(n int) string {
+	if n <= 1 {
+		return "profile"
+	}
+	return "drift"
+}
+
+// explainTiered records the N-tier decision's attribution: the per-phase
+// term breakdown, the chunk assignments the knapsack priced out of their
+// individually best tier, and the oracle-static regret baseline (the same
+// knapsack re-solved with pure benefits and zero movement cost — the
+// clairvoyant placement from t=0).
+func (r *Runtime) explainTiered(phases []*phase.Info, terms [][]obs.ChunkTerm,
+	items []placement.TieredItem, benefit map[string][]float64,
+	current map[string]machine.TierKind, caps []int64, iterNS, modelNS float64) {
+	nTiers := len(caps)
+	slow := nTiers - 1
+	rec := obs.DecisionRecord{
+		Decision: r.Decisions, Iter: r.reg.Iter(), Trigger: decisionTrigger(r.Decisions),
+		Solver: r.tierPlan.Solver, TotalWeightNS: r.tierPlan.TotalWeightNS, ModelNS: modelNS,
+	}
+
+	// Oracle baseline: an all-slowest iteration costs the profiled time
+	// plus the benefit baked in by the tiers chunks profiled at; the
+	// oracle's pure-benefit knapsack earns its total weight back off that.
+	oItems := make([]placement.TieredItem, 0, len(items))
+	baseAllSlow := iterNS
+	for _, it := range items {
+		w := make([]float64, nTiers)
+		if b := benefit[it.Chunk]; b != nil {
+			copy(w, b)
+			baseAllSlow += b[int(current[it.Chunk])]
+		}
+		oItems = append(oItems, placement.TieredItem{Chunk: it.Chunk, Size: it.Size, WeightNS: w})
+	}
+	oracle := placement.SolveTiered(oItems, caps)
+	rec.OracleIterNS = baseAllSlow - oracle.TotalWeightNS
+
+	for pi, p := range phases {
+		tb := obs.TermBreakdown{Phase: p.ID, Name: p.Name, Kind: p.Kind.String(), DurNS: p.ProfiledNS}
+		for _, ct := range terms[pi] {
+			ct.Chosen = r.tierPlan.Assign[ct.Chunk] < slow
+			if ct.Chosen {
+				tb.BenefitNS += ct.BenefitNS
+			}
+			tb.Chunks = append(tb.Chunks, ct)
+		}
+		rec.Phases = append(rec.Phases, tb)
+	}
+
+	// Rejected alternatives: the top chunks denied their individually
+	// best tier (the marginal delta the capacity constraint cost them).
+	var rej []obs.RejectedChoice
+	for _, it := range items {
+		best := 0
+		for t := range it.WeightNS {
+			if it.WeightNS[t] > it.WeightNS[best] {
+				best = t
+			}
+		}
+		got := r.tierPlan.Assign[it.Chunk]
+		if got != best && it.WeightNS[best] > it.WeightNS[got] {
+			rej = append(rej, obs.RejectedChoice{
+				Chunk: it.Chunk, ChosenTier: got, BestTier: best,
+				DeltaNS: it.WeightNS[best] - it.WeightNS[got],
+			})
+		}
+	}
+	sort.SliceStable(rej, func(a, b int) bool { return rej[a].DeltaNS > rej[b].DeltaNS })
+	if len(rej) > maxRejectedChoices {
+		rej = rej[:maxRejectedChoices]
+	}
+	rec.Rejected = rej
+	r.expl.AddDecision(rec)
+}
+
+// maxRejectedChoices caps the N-tier rejected-alternatives list per
+// decision (top-k by marginal delta).
+const maxRejectedChoices = 8
 
 // firstReferencing returns the first phase (iteration order) whose profile
 // references the chunk, defaulting to 0.

@@ -197,6 +197,12 @@ func (e *Engine) ExecuteInfo(ctx context.Context, w *workloads.Workload, m *mach
 			tr.WallSpan(0, "execute "+w.Name, "engine", execStart,
 				map[string]any{"strategy": st.cacheKey(), "cached": false})
 		}
+		if res != nil {
+			// Finalize the attribution document (a nil Explain no-ops):
+			// stamp the run's identity and realized time, and derive the
+			// regret figure from the decisions' oracle baselines.
+			opts.Explain.Finish(w.Name, m.Name, st.cacheKey(), res.TimeNS, w.Iterations)
+		}
 		// Runtimes are returned even on error: the already-created per-rank
 		// instances are the debugging handle a failed run leaves behind
 		// (and what the legacy wrappers always exposed).
@@ -215,6 +221,12 @@ func (e *Engine) ExecuteInfo(ctx context.Context, w *workloads.Workload, m *mach
 	if tr != nil {
 		tr.WallSpan(0, "execute "+w.Name, "engine", execStart,
 			map[string]any{"strategy": st.cacheKey(), "cached": hit})
+	}
+	if res != nil {
+		// Baseline strategies take no placement decisions, so the document
+		// carries identity and realized time only (no regret); memoized
+		// hits never re-executed, so there is nothing else to attribute.
+		opts.Explain.Finish(w.Name, m.Name, st.cacheKey(), res.TimeNS, w.Iterations)
 	}
 	return res, nil, info, err
 }

@@ -26,7 +26,12 @@ type FleetStat struct {
 	// SpeedupVsStatic is StaticNS/UnimemNS: > 1 means the online runtime
 	// beat the hint-density static placement.
 	SpeedupVsStatic float64 `json:"speedup_vs_static"`
-	Migrations      int     `json:"migrations"`
+	// RegretFrac is UnimemNS over the best offline-static time this cell
+	// measured (min of hint-density and X-Mem), minus 1: what adapting
+	// online cost relative to the oracle-best static placement. Negative
+	// when Unimem beat every static policy.
+	RegretFrac float64 `json:"regret_frac"`
+	Migrations int     `json:"migrations"`
 	// Decisions is rank 0's placement-decision count (1 + re-profiles):
 	// how often the runtime adapted.
 	Decisions int `json:"decisions"`
@@ -50,6 +55,9 @@ type FleetAggregate struct {
 	// Worst names the tail cell (lowest speedup) for diagnosis.
 	Worst        string  `json:"worst"`
 	WorstSpeedup float64 `json:"worst_speedup"`
+	// MeanRegretFrac averages RegretFrac across the archetype's cells —
+	// the figure the serve layer exports as unimem_fleet_regret.
+	MeanRegretFrac float64 `json:"mean_regret_frac"`
 }
 
 // fleetPlatforms returns the platforms each sampled scenario runs on: the
@@ -151,6 +159,10 @@ func (s *Suite) ScenarioFleet() (*Table, error) {
 		if err != nil {
 			return err
 		}
+		bestStatic := static.TimeNS
+		if xm.TimeNS < bestStatic {
+			bestStatic = xm.TimeNS
+		}
 		stats[i] = FleetStat{
 			Archetype:       string(c.arch),
 			Scenario:        c.spec.Name,
@@ -161,6 +173,7 @@ func (s *Suite) ScenarioFleet() (*Table, error) {
 			XMemNS:          xm.TimeNS,
 			UnimemNS:        uni.TimeNS,
 			SpeedupVsStatic: float64(static.TimeNS) / float64(uni.TimeNS),
+			RegretFrac:      float64(uni.TimeNS)/float64(bestStatic) - 1,
 			Migrations:      uni.TotalMigrations(),
 			Decisions:       col.Decisions(),
 		}
@@ -214,10 +227,11 @@ func aggregateFleet(arch string, cells []FleetStat) FleetAggregate {
 		agg.Min, agg.Max = 0, 0
 		return agg
 	}
-	var logSum float64
+	var logSum, regretSum float64
 	for _, st := range cells {
 		sp := st.SpeedupVsStatic
 		logSum += math.Log(sp)
+		regretSum += st.RegretFrac
 		if sp < agg.Min {
 			agg.Min = sp
 			agg.Worst = st.Scenario + "@" + st.Platform
@@ -236,5 +250,6 @@ func aggregateFleet(arch string, cells []FleetStat) FleetAggregate {
 		}
 	}
 	agg.Geomean = math.Exp(logSum / float64(len(cells)))
+	agg.MeanRegretFrac = regretSum / float64(len(cells))
 	return agg
 }

@@ -32,6 +32,11 @@ type Request struct {
 	seq       uint64
 }
 
+// Seq returns the request's ticket number (the value Enqueue returned) —
+// the join key observers use to match completions against metadata the
+// enqueuer recorded, e.g. the explain layer's migration triggers.
+func (r Request) Seq() uint64 { return r.seq }
+
 // Completion records a finished (or failed) migration.
 type Completion struct {
 	Req Request

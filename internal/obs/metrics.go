@@ -142,11 +142,22 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// Handler serves the registry as a GET /metrics endpoint.
+// Handler serves the registry as a /metrics endpoint. The exposition is
+// rendered to a buffer first so the response carries Content-Length, and
+// HEAD requests receive the headers (with the length of the body a GET
+// would return) without a body — what scrapers and load balancers probing
+// the endpoint expect.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var b strings.Builder
+		r.WriteTo(&b)
+		body := b.String()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WriteTo(w)
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		if req != nil && req.Method == http.MethodHead {
+			return
+		}
+		io.WriteString(w, body)
 	})
 }
 
@@ -310,6 +321,91 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}
 	r.register(&gaugeFamily{name: name, help: help, g: g})
 	return g
+}
+
+// FloatGauge is a float-valued gauge (the fleet regret figures are
+// fractions, which the integer Gauge cannot carry). A nil FloatGauge
+// no-ops.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// GaugeVec is a float-valued gauge family partitioned by label values.
+type GaugeVec struct {
+	name   string
+	labels []string
+	mu     sync.Mutex
+	kids   map[string]*FloatGauge
+	order  []string
+	vals   map[string][]string
+}
+
+// With returns the child gauge for the label values, creating it on first
+// use. The value count must match the registered label names.
+func (v *GaugeVec) With(values ...string) *FloatGauge {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.kids[key]
+	if !ok {
+		g = &FloatGauge{}
+		v.kids[key] = g
+		v.order = append(v.order, key)
+		v.vals[key] = append([]string(nil), values...)
+	}
+	return g
+}
+
+type gaugeVecFamily struct {
+	help string
+	v    *GaugeVec
+}
+
+func (f *gaugeVecFamily) meta() (string, string, string) { return f.v.name, f.help, "gauge" }
+func (f *gaugeVecFamily) write(b *strings.Builder) {
+	f.v.mu.Lock()
+	keys := append([]string(nil), f.v.order...)
+	f.v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.v.mu.Lock()
+		g, vals := f.v.kids[k], f.v.vals[k]
+		f.v.mu.Unlock()
+		fmt.Fprintf(b, "%s%s %s\n", f.v.name, labelPairs(f.v.labels, vals), formatValue(g.Value()))
+	}
+}
+
+// GaugeVec registers a labeled float-gauge family (nil on a nil registry).
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	checkLabels(labels)
+	v := &GaugeVec{name: name, labels: labels, kids: map[string]*FloatGauge{}, vals: map[string][]string{}}
+	r.register(&gaugeVecFamily{help: help, v: v})
+	return v
 }
 
 type gaugeFuncFamily struct {

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The quantile estimator interpolates inside the target bucket; these
+// tests pin its behavior at the degenerate shapes where interpolation
+// has no interior to work with.
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	// Degenerate layout: no buckets at all. With observations, every
+	// value lands in the implicit +Inf bucket and there is no finite
+	// bound to clamp to.
+	hb := newHistogram(nil)
+	hb.Observe(3)
+	if got := hb.Quantile(0.5); got != 0 {
+		t.Errorf("bucketless Quantile(0.5) = %g, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := newHistogram([]float64{10})
+	for i := 0; i < 4; i++ {
+		h.Observe(2)
+	}
+	// All mass in [0, 10]: rank interpolates linearly across the one
+	// bucket regardless of where the observations actually sat.
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("single-bucket p50 = %g, want 5 (interpolated midpoint)", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("single-bucket p100 = %g, want the bucket bound 10", got)
+	}
+}
+
+func TestQuantileAllInInfBucket(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01})
+	for i := 0; i < 8; i++ {
+		h.Observe(99) // far beyond every finite bound
+	}
+	// Prometheus's histogram_quantile clamps to the largest finite bound
+	// when the estimate lands in +Inf; so do we.
+	for _, q := range []float64{0.1, 0.5, 0.999} {
+		if got := h.Quantile(q); got != 0.01 {
+			t.Errorf("+Inf-bucket Quantile(%g) = %g, want 0.01 (largest finite bound)", q, got)
+		}
+	}
+}
+
+func TestQuantileExactBoundaryObservations(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// Observations exactly on bucket bounds count into the bucket whose
+	// upper bound they equal (le semantics: SearchFloat64s finds the
+	// first bound >= v).
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(4)
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=1 count = %d, want 1", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("bucket le=2 count = %d, want 1", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("bucket le=4 count = %d, want 1", got)
+	}
+	// rank(1.0) = 3: the cumulative count reaches 3 exactly at the last
+	// occupied bucket, whose interpolation tops out at its upper bound.
+	if got := h.Quantile(1); math.Abs(got-4) > 1e-9 {
+		t.Errorf("boundary p100 = %g, want 4", got)
+	}
+	// rank(1/3) = 1: exactly exhausts the first bucket -> its bound.
+	if got := h.Quantile(1.0 / 3.0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("boundary p33 = %g, want 1", got)
+	}
+}
+
+func TestHandlerHEADAndContentLength(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "A counter.").Inc()
+	h := r.Handler()
+
+	get := httptest.NewRecorder()
+	h.ServeHTTP(get, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := get.Body.String()
+	if len(body) == 0 {
+		t.Fatal("GET /metrics returned an empty body")
+	}
+	cl := get.Header().Get("Content-Length")
+	if want := strconv.Itoa(len(body)); cl != want {
+		t.Errorf("GET Content-Length = %q, want %q", cl, want)
+	}
+
+	head := httptest.NewRecorder()
+	h.ServeHTTP(head, httptest.NewRequest(http.MethodHead, "/metrics", nil))
+	if head.Body.Len() != 0 {
+		t.Errorf("HEAD /metrics returned a %d-byte body, want none", head.Body.Len())
+	}
+	// HEAD must advertise the length a GET would have returned.
+	if got := head.Header().Get("Content-Length"); got != cl {
+		t.Errorf("HEAD Content-Length = %q, want the GET length %q", got, cl)
+	}
+	if got := head.Header().Get("Content-Type"); !strings.Contains(got, "text/plain") {
+		t.Errorf("HEAD Content-Type = %q, want text/plain exposition", got)
+	}
+}
+
+func TestGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_regret", "Regret by archetype.", "archetype")
+	v.With("drift").Set(0.125)
+	v.With("steady").Set(-0.5)
+	v.With("drift").Set(0.25) // same child, latest value wins
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_regret gauge",
+		`test_regret{archetype="drift"} 0.25`,
+		`test_regret{archetype="steady"} -0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("validation: %v", err)
+	}
+
+	// Nil safety mirrors the other instruments.
+	var nilVec *GaugeVec
+	nilVec.With("x").Set(1)
+	var nilGauge *FloatGauge
+	nilGauge.Set(2)
+	if nilGauge.Value() != 0 {
+		t.Error("nil FloatGauge.Value() != 0")
+	}
+	if (*Registry)(nil).GaugeVec("x", "y", "z") != nil {
+		t.Error("nil registry returned a non-nil GaugeVec")
+	}
+}

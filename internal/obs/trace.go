@@ -88,6 +88,19 @@ func (t *Trace) Instant(clock Clock, tid int, name, cat string, atNS int64, args
 	})
 }
 
+// Meta records a metadata event carried into the exported document — the
+// daemon stamps the request ID here so a Chrome trace can be joined back
+// to its log lines and explain document.
+func (t *Trace) Meta(key string, value any) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{
+		Name: key, Ph: "M", Pid: int(Wall),
+		Args: map[string]any{"value": value},
+	})
+}
+
 // WallSpan records a wall-clock span from start to now, relative to the
 // trace origin. It returns the duration for callers that also feed a
 // histogram.

@@ -335,6 +335,33 @@ func DecideAll(in *Input, enableLocal, enableGlobal bool) (*Plan, []*Plan) {
 	return best, all
 }
 
+// OracleStaticNS prices the clairvoyant best static placement: one DRAM
+// set chosen with full knowledge of the profiled benefits and zero
+// adoption cost (the oracle placed the data before the run began), held
+// for the whole iteration. It returns the model-predicted steady-state
+// iteration time of that placement — the per-iteration baseline the
+// explain layer's regret figure compares realized execution against. The
+// computation is one extra knapsack over the already-memoized benefit
+// totals, so it is cheap enough to run at every decision.
+func OracleStaticNS(in *Input) float64 {
+	total := make(map[string]float64)
+	for _, pd := range in.Phases {
+		for c, b := range pd.Benefit {
+			total[c] += b
+		}
+	}
+	var items []Item
+	for _, c := range sortedChunks(total) {
+		items = append(items, Item{Chunk: c, Size: in.ChunkSize[c], WeightNS: total[c]})
+	}
+	_, gain := Knapsack(items, in.DRAMCapacity)
+	var base float64
+	for _, b := range in.baseNS() {
+		base += b
+	}
+	return base - gain
+}
+
 // MoveCost applies Eq. 4 through the Input's callbacks.
 func MoveCost(in *Input, size int64, overlapNS float64) float64 {
 	c := in.CopyTimeNS(size) - overlapNS

@@ -356,6 +356,10 @@ type RunResponse struct {
 	// Trace is the run's span timeline as Chrome trace-event JSON
 	// (loadable in chrome://tracing), present only on /run?trace=1.
 	Trace json.RawMessage `json:"trace,omitempty"`
+	// Explain is the run's decision-attribution document (per-phase cost
+	// terms, migration audit trail, regret), present only on
+	// /run?explain=1. Its run_id equals the response's X-Request-Id.
+	Explain json.RawMessage `json:"explain,omitempty"`
 }
 
 // CalibrationJSON is the one-time platform measurement on the wire.

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file is the daemon's run audit trail: GET /debug/runs answers the
+// last N executed requests (run/batch/fleet) as structured summaries —
+// request ID, what ran, how long it took, cache attribution, and the
+// regret figure when the request carried an attribution document. The
+// ring is the operational join point for the explain layer: a slow-request
+// log line's request ID looks up its run record here, and the record's
+// regret/migration counts say whether the slowness was placement work or
+// just a cold simulation. The buffer honors -no-metrics exactly like
+// /metrics does: disabled observability means no recording and no route.
+
+// runRecord is one /debug/runs row: the completed request's summary,
+// filled partly by the handler (what ran) and partly by the instrument
+// middleware (identity, timing, status).
+type runRecord struct {
+	// RequestID matches the X-Request-Id header and the request log.
+	RequestID string `json:"request_id"`
+	Endpoint  string `json:"endpoint"`
+	// At is the request start time (RFC 3339, UTC). It is rendered from
+	// at when /debug/runs is read — formatting on the request path costs
+	// more than the whole ring insert.
+	At string    `json:"at"`
+	at time.Time `json:"-"`
+	// DurationMS is the request's wall-clock service time.
+	DurationMS float64 `json:"duration_ms"`
+	Status     int     `json:"status"`
+	// Cache is the run-cache attribution: "hit", "miss" or "none".
+	Cache string `json:"cache"`
+	// Workload/Strategy echo what ran (single-job /run requests only).
+	Workload string `json:"workload,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	// Jobs counts the request's jobs (1 for /run).
+	Jobs int `json:"jobs,omitempty"`
+	// TimeNS is the run's simulated execution time (/run only).
+	TimeNS int64 `json:"time_ns,omitempty"`
+	// Migrations totals the run's migration count (/run only).
+	Migrations int `json:"migrations,omitempty"`
+	// RegretFrac is the attribution document's regret fraction, present
+	// when the request ran with ?explain=1 under the Unimem strategy.
+	RegretFrac *float64 `json:"regret_frac,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// debugRuns is a fixed-capacity ring of the most recent run records.
+// A nil *debugRuns (metrics disabled) no-ops.
+type debugRuns struct {
+	mu    sync.Mutex
+	buf   []runRecord
+	next  int
+	total int64
+}
+
+// defaultDebugRunHistory is the ring capacity when the config leaves it 0.
+const defaultDebugRunHistory = 64
+
+func newDebugRuns(size int) *debugRuns {
+	if size <= 0 {
+		size = defaultDebugRunHistory
+	}
+	return &debugRuns{buf: make([]runRecord, 0, size)}
+}
+
+// add appends one completed request, evicting the oldest at capacity.
+func (d *debugRuns) add(rec runRecord) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.total++
+	if len(d.buf) < cap(d.buf) {
+		d.buf = append(d.buf, rec)
+		return
+	}
+	d.buf[d.next] = rec
+	d.next = (d.next + 1) % cap(d.buf)
+}
+
+// snapshot returns the retained records, newest first.
+func (d *debugRuns) snapshot() (recs []runRecord, total int64) {
+	if d == nil {
+		return nil, 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	recs = make([]runRecord, 0, len(d.buf))
+	// The ring's oldest entry is at next once it has wrapped; walk
+	// backwards from the newest.
+	for i := 0; i < len(d.buf); i++ {
+		idx := (d.next - 1 - i + len(d.buf)) % len(d.buf)
+		rec := d.buf[idx]
+		rec.At = rec.at.UTC().Format(time.RFC3339Nano)
+		recs = append(recs, rec)
+	}
+	return recs, d.total
+}
+
+// debugRunsResponse is GET /debug/runs's body.
+type debugRunsResponse struct {
+	// Capacity is the ring size; Total counts every request recorded
+	// since startup (Total - Capacity have been evicted).
+	Capacity int         `json:"capacity"`
+	Total    int64       `json:"total"`
+	Runs     []runRecord `json:"runs"`
+}
+
+// handleDebugRuns answers the retained run summaries, newest first.
+func (s *Server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
+	recs, total := s.debug.snapshot()
+	if recs == nil {
+		recs = []runRecord{}
+	}
+	writeJSON(w, debugRunsResponse{Capacity: cap(s.debug.buf), Total: total, Runs: recs})
+}

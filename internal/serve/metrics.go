@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"unimem"
 	"unimem/internal/mpisim"
 	"unimem/internal/obs"
 )
@@ -21,6 +22,17 @@ type serverMetrics struct {
 	// errors, or endpoints that don't run jobs).
 	requests *obs.CounterVec
 	duration *obs.HistogramVec
+	// slow counts requests that crossed the -slow-request threshold (the
+	// metric twin of the Warn log line).
+	slow *obs.CounterVec
+
+	// Fleet policy-quality telemetry, fed by /fleet's per-row attribution
+	// documents (Unimem-strategy rows only): the latest sweep's mean
+	// regret fraction per archetype, the per-scenario regret distribution,
+	// and realized/predicted migration-time ratios.
+	fleetRegret     *obs.GaugeVec
+	fleetRegretHist *obs.HistogramVec
+	migBenefit      *obs.HistogramVec
 }
 
 // endpointMetrics is one instrumented route's pre-resolved metric
@@ -34,6 +46,7 @@ type endpointMetrics struct {
 
 	ok, badReq, fail         *obs.Counter
 	durHit, durMiss, durNone *obs.Histogram
+	slow                     *obs.Counter
 }
 
 // forEndpoint pre-resolves the endpoint's children for the common
@@ -49,6 +62,7 @@ func (m *serverMetrics) forEndpoint(endpoint string) *endpointMetrics {
 		durHit:   m.duration.With(endpoint, "hit"),
 		durMiss:  m.duration.With(endpoint, "miss"),
 		durNone:  m.duration.With(endpoint, "none"),
+		slow:     m.slow.With(endpoint),
 	}
 }
 
@@ -74,6 +88,33 @@ func (e *endpointMetrics) observe(status int, cache string, seconds float64) {
 	}
 }
 
+// regretBuckets cover the regret-fraction range: negative values (the
+// online runtime beat the static oracle's model prediction) through
+// multiples of the oracle time.
+var regretBuckets = []float64{-0.25, -0.1, -0.05, -0.02, -0.01, 0, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// ratioBuckets cover realized/predicted migration-time ratios around the
+// break-even point 1.
+var ratioBuckets = []float64{0.25, 0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2, 3, 5, 10}
+
+// observeFleetRow feeds one /fleet Unimem row's attribution document into
+// the policy-quality instruments; meanRegret is the sweep's running
+// per-archetype mean, maintained by the caller.
+func (m *serverMetrics) observeFleetRow(archetype string, doc *unimem.ExplainDoc, meanRegret float64) {
+	if m.reg == nil || doc == nil {
+		return
+	}
+	if doc.Regret != nil {
+		m.fleetRegret.With(archetype).Set(meanRegret)
+		m.fleetRegretHist.With(archetype).Observe(doc.Regret.RegretFrac)
+	}
+	for _, mg := range doc.Migrations {
+		if mg.PredictedNS > 0 && !mg.Failed {
+			m.migBenefit.With(archetype).Observe(float64(mg.RealizedNS) / mg.PredictedNS)
+		}
+	}
+}
+
 // newServerMetrics builds the registry and registers the scrape-time
 // bridges into the server's live state (cache shards, session pool,
 // worker pools, the mpisim event core). Returns an all-nil value when
@@ -90,6 +131,17 @@ func newServerMetrics(s *Server, disabled bool) *serverMetrics {
 		duration: r.HistogramVec("unimem_http_request_duration_seconds",
 			"HTTP request latency, by endpoint and run-cache attribution (hit/miss/none).",
 			nil, "endpoint", "cache"),
+		slow: r.CounterVec("unimem_serve_slow_requests_total",
+			"Requests slower than the -slow-request threshold, by endpoint.", "endpoint"),
+		fleetRegret: r.GaugeVec("unimem_fleet_regret",
+			"Latest /fleet sweep's mean regret fraction (realized vs oracle-best static placement) per archetype.",
+			"archetype"),
+		fleetRegretHist: r.HistogramVec("unimem_fleet_regret_frac",
+			"Per-scenario regret fraction of /fleet Unimem runs, by archetype.",
+			regretBuckets, "archetype"),
+		migBenefit: r.HistogramVec("unimem_fleet_migration_benefit_ratio",
+			"Realized/predicted migration-time ratio of /fleet Unimem runs, by archetype (>1: queueing or contention ate the predicted benefit).",
+			ratioBuckets, "archetype"),
 	}
 
 	buildInfo := r.CounterVec("unimem_build_info",

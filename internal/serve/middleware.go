@@ -33,6 +33,10 @@ type reqStateKey struct{}
 type reqState struct {
 	id    string
 	cache string
+	// run, when a handler sets it, is the request's /debug/runs record
+	// in progress: the handler fills in what ran, the middleware stamps
+	// identity/timing/status at completion and commits it to the ring.
+	run *runRecord
 }
 
 // stateOf returns the request's reqState (nil outside instrumented
@@ -109,6 +113,16 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			cache = "none"
 		}
 		em.observe(rec.status, cache, elapsed.Seconds())
+		if s.debug != nil && st.run != nil {
+			run := *st.run
+			run.RequestID = st.id
+			run.Endpoint = endpoint
+			run.at = start
+			run.DurationMS = float64(elapsed.Nanoseconds()) / 1e6
+			run.Status = rec.status
+			run.Cache = cache
+			s.debug.add(run)
+		}
 
 		l := s.cfg.Logger
 		switch {
@@ -116,6 +130,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			l.Warn("request failed", "id", st.id, "endpoint", endpoint,
 				"status", rec.status, "cache", cache, "dur", elapsed)
 		case elapsed >= s.slowRequest():
+			// The counter mirrors the Warn line so alerting can fire off a
+			// /metrics scrape instead of log scraping.
+			em.slow.Inc()
 			l.Warn("slow request", "id", st.id, "endpoint", endpoint,
 				"status", rec.status, "cache", cache, "dur", elapsed)
 		case l.Enabled(r.Context(), slog.LevelDebug):

@@ -13,12 +13,18 @@
 //	GET  /stats  cache, snapshot and per-session calibration introspection
 //	GET  /metrics Prometheus text exposition (request latency histograms
 //	              per endpoint x cache attribution, cache/pool gauges,
-//	              mpisim event-core counters)
+//	              mpisim event-core counters, fleet regret telemetry)
+//	GET  /debug/runs ring buffer of the last N run summaries (request ID,
+//	              timing, cache attribution, regret) for post-hoc joins
 //	GET  /healthz liveness probe (echoes the build version)
 //
 // Every request carries an X-Request-Id (also attached to error bodies
 // and log lines); POST /run?trace=1 additionally returns the run's span
-// timeline as Chrome trace-event JSON in the response's "trace" field.
+// timeline as Chrome trace-event JSON in the response's "trace" field,
+// and POST /run?explain=1 returns the run's decision-attribution document
+// (per-phase Eq. 1-4 cost terms, rejected alternatives, migration audit
+// trail, regret vs the oracle-best static placement) in the "explain"
+// field, with the request ID stamped into both documents.
 //
 // Every request is bounded by its own context: a disconnecting client
 // aborts the in-flight simulated worlds exactly like a cancelled library
@@ -75,6 +81,9 @@ type Config struct {
 	// SlowRequest is the latency above which a request logs at Warn
 	// (0: 30s).
 	SlowRequest time.Duration
+	// DebugRunHistory sizes the /debug/runs ring of recent run summaries
+	// (0: 64). The ring, like /metrics, is off under DisableMetrics.
+	DebugRunHistory int
 }
 
 // snapshotFileName is the cache snapshot inside CacheDir.
@@ -113,6 +122,9 @@ type Server struct {
 	loaded  int
 	started time.Time
 	metrics *serverMetrics
+	// debug is the /debug/runs ring (nil when metrics are disabled — the
+	// audit trail honors -no-metrics exactly like /metrics does).
+	debug *debugRuns
 
 	mu       sync.Mutex
 	sessions *lru.Table[string, *poolEntry]
@@ -175,7 +187,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.metrics.reg != nil {
+		s.debug = newDebugRuns(cfg.DebugRunHistory)
 		mux.Handle("GET /metrics", s.metrics.reg.Handler())
+		mux.HandleFunc("GET /debug/runs", s.instrument("/debug/runs", s.handleDebugRuns))
 	}
 	s.mux = mux
 	return s, nil
@@ -318,10 +332,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	st := stateOf(r)
 	var trace *unimem.Trace
 	if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
 		trace = unimem.NewTrace()
 		job.Options.Trace = trace
+		if st != nil {
+			// Stamp the request ID into the exported document so a trace
+			// file can be joined back to its log lines and run record.
+			trace.Meta("request_id", st.id)
+		}
+	}
+	var explain *unimem.Explain
+	if v := r.URL.Query().Get("explain"); v == "1" || v == "true" {
+		explain = unimem.NewExplain()
+		if st != nil {
+			explain.SetRunID(st.id)
+		}
+		job.Options.Explain = explain
 	}
 	entry := s.session(m)
 	entry.runs.Add(1)
@@ -337,6 +365,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if doc, err := trace.MarshalChrome(); err == nil {
 			resp.Trace = doc
 		}
+	}
+	if explain != nil {
+		if doc, err := json.Marshal(explain.Doc()); err == nil {
+			resp.Explain = doc
+		}
+	}
+	if st != nil {
+		run := &runRecord{
+			Jobs:       1,
+			Workload:   resp.Workload,
+			Strategy:   resp.Strategy,
+			TimeNS:     resp.TimeNS,
+			Migrations: resp.Migrations,
+			Error:      resp.Error,
+		}
+		if explain != nil {
+			if doc := explain.Doc(); doc.Regret != nil {
+				f := doc.Regret.RegretFrac
+				run.RegretFrac = &f
+			}
+		}
+		st.run = run
 	}
 	writeJSON(w, resp)
 }
@@ -400,6 +450,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "jobs[%d]: %v", i, err)
 			return
 		}
+	}
+	if st := stateOf(r); st != nil {
+		st.run = &runRecord{Jobs: len(jobs)}
 	}
 	streamOutcomes(w, r, s.session(m), jobs, nil)
 }
@@ -501,11 +554,48 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	reqState := stateOf(r)
+	if reqState != nil {
+		reqState.run = &runRecord{Jobs: len(jobs)}
+	}
+	// With metrics on, every Unimem row carries an attribution document so
+	// the sweep feeds the per-archetype regret/migration-benefit
+	// instruments — the fleet becomes a live policy-quality dashboard.
+	var explains []*unimem.Explain
+	if s.metrics.reg != nil {
+		explains = make([]*unimem.Explain, len(jobs))
+		for i := range jobs {
+			if jobs[i].Strategy.IsUnimem() {
+				ex := unimem.NewExplain()
+				if reqState != nil {
+					ex.SetRunID(fmt.Sprintf("%s#%d", reqState.id, i))
+				}
+				explains[i] = ex
+				jobs[i].Options.Explain = ex
+			}
+		}
+	}
+	// Per-archetype running means for the regret gauge; annotate runs on
+	// the single streaming goroutine, so plain maps suffice.
+	regretSum := map[string]float64{}
+	regretN := map[string]int{}
 	streamOutcomes(w, r, s.session(m), jobs, func(row *OutcomeJSON) {
 		mt := meta[row.Index]
 		row.Archetype = mt.archetype
 		row.Scenario = mt.scenario
 		row.Seed = mt.seed
+		if explains == nil || explains[row.Index] == nil || row.Error != "" {
+			return
+		}
+		doc := explains[row.Index].Doc()
+		if doc.Regret != nil {
+			regretSum[mt.archetype] += doc.Regret.RegretFrac
+			regretN[mt.archetype]++
+			s.metrics.observeFleetRow(mt.archetype, doc,
+				regretSum[mt.archetype]/float64(regretN[mt.archetype]))
+		} else {
+			s.metrics.observeFleetRow(mt.archetype, doc, 0)
+		}
 	})
 }
 

@@ -181,6 +181,9 @@ type Outcome struct {
 	// run cache rather than a fresh execution (always false for the
 	// Unimem strategy, which never caches).
 	CacheHit bool
+	// Explain is the job's decision-attribution document, snapshotted
+	// after the run when Options.Explain was set (nil otherwise).
+	Explain *ExplainDoc
 
 	mach *Machine
 }
@@ -242,6 +245,9 @@ func (s *Session) do(ctx context.Context, idx int, job Job) Outcome {
 	var info exp.ExecInfo
 	o.Result, o.Runtimes, info, o.Err = s.eng.ExecuteInfo(ctx, job.Workload, s.m, job.Strategy, cfg, opts)
 	o.CacheHit = info.CacheHit
+	if opts.Explain != nil {
+		o.Explain = opts.Explain.Doc()
+	}
 	return o
 }
 

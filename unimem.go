@@ -148,6 +148,32 @@ type Trace = obs.Trace
 // NewTrace returns an empty trace recorder whose wall-clock origin is now.
 func NewTrace() *Trace { return obs.NewTrace() }
 
+// Explain is a per-run decision-attribution recorder: attach one via
+// Options.Explain (or Job.Options.Explain) and the Unimem runtime records,
+// for every placement decision, the Eq. 1-4 term breakdown behind the
+// chosen placement and its rejected alternatives, every migration with its
+// trigger and realized-vs-predicted cost, every re-profile, and a regret
+// figure against the oracle-best static placement. Read the document with
+// Doc (or from Outcome.Explain). Like Trace, attribution never changes
+// simulated time or results; disabled it costs one pointer check.
+type Explain = obs.Explain
+
+// ExplainDoc is the exported attribution document (see Explain).
+type ExplainDoc = obs.ExplainDoc
+
+// DecisionRecord is one placement decision's attribution within an
+// ExplainDoc.
+type DecisionRecord = obs.DecisionRecord
+
+// MigrationRecord is one migration's audit entry within an ExplainDoc.
+type MigrationRecord = obs.MigrationRecord
+
+// RegretRecord is an ExplainDoc's realized-vs-oracle regret figure.
+type RegretRecord = obs.RegretRecord
+
+// NewExplain returns an empty attribution recorder.
+func NewExplain() *Explain { return obs.NewExplain() }
+
 // Run executes the workload on machine m under the Unimem runtime and
 // returns the result together with the per-rank runtimes (in rank order)
 // for inspection. Repeated calls on the same machine share one default
