@@ -97,14 +97,64 @@ func checkMpisim(cur, base *simprog.BenchDoc) []string {
 	return bad
 }
 
-// checkServe gates a fresh serve run against the fixed overhead budget.
+// minLoadgenHitRate is the cache-hit floor for the measured loadgen
+// round: after the warm round every key is resident at its ring owner,
+// so anything meaningfully below 1.0 means forwarding routed requests
+// away from their owners (or fallbacks re-executed cold runs).
+const minLoadgenHitRate = 0.95
+
+// minLoadgenQPSFraction is the floor on achieved/target QPS for the
+// open-loop replay; the schedule is fixed, so falling far below it means
+// the cluster path stalled the sender pool.
+const minLoadgenQPSFraction = 0.5
+
+// minLoadgenNodeShare is each node's minimum share of executed requests:
+// the two-node ring must actually spread the key population.
+const minLoadgenNodeShare = 0.10
+
+// checkServe gates a fresh serve run against the fixed overhead budget
+// and the cluster loadgen replay's health floors.
 func checkServe(cur *serve.BenchDoc) []string {
+	var bad []string
 	if cur.OverheadPct > maxServeOverheadPct {
-		return []string{fmt.Sprintf(
+		bad = append(bad, fmt.Sprintf(
 			"serve: request-path instrumentation overhead %.2f%% exceeds the %.1f%% budget",
-			cur.OverheadPct, maxServeOverheadPct)}
+			cur.OverheadPct, maxServeOverheadPct))
 	}
-	return nil
+	lg := cur.Loadgen
+	if lg == nil {
+		return append(bad, "serve: loadgen cluster replay missing from the fresh run")
+	}
+	if lg.Errors > 0 {
+		bad = append(bad, fmt.Sprintf(
+			"serve loadgen: %d of %d requests failed (a degraded cluster must still answer everything)",
+			lg.Errors, lg.Requests))
+	}
+	if lg.HitRate < minLoadgenHitRate {
+		bad = append(bad, fmt.Sprintf(
+			"serve loadgen: hit rate %.1f%% below the %.0f%% floor (forwarding is missing ring owners)",
+			100*lg.HitRate, 100*minLoadgenHitRate))
+	}
+	if lg.AchievedQPS < minLoadgenQPSFraction*lg.TargetQPS {
+		bad = append(bad, fmt.Sprintf(
+			"serve loadgen: achieved %.1f QPS below %.0f%% of the %.1f QPS schedule",
+			lg.AchievedQPS, 100*minLoadgenQPSFraction, lg.TargetQPS))
+	}
+	if len(lg.PerNode) < 2 {
+		bad = append(bad, fmt.Sprintf(
+			"serve loadgen: %d node(s) executed requests; the two-node ring did not spread the keys",
+			len(lg.PerNode)))
+	}
+	for node, ns := range lg.PerNode {
+		if lg.Requests > 0 {
+			if share := float64(ns.Requests) / float64(lg.Requests); share < minLoadgenNodeShare {
+				bad = append(bad, fmt.Sprintf(
+					"serve loadgen: node %s executed only %.1f%% of requests (floor %.0f%%)",
+					node, 100*share, 100*minLoadgenNodeShare))
+			}
+		}
+	}
+	return bad
 }
 
 // runCheck loads the committed baseline for mode and compares the fresh

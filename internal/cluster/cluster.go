@@ -1,0 +1,427 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"unimem/internal/obs"
+)
+
+// Config parameterizes a Cluster. The zero value of every field has a
+// usable default; a Config with no Peers (or only Self) yields a cluster
+// where every key is local.
+type Config struct {
+	// Self is this node's advertised base URL. It must appear in Peers for
+	// the node to own any keys; peers normalize it the same way.
+	Self string
+	// Peers is the full static membership, including Self.
+	Peers []string
+	// Replicas is the virtual-node count per peer (<= 0: 128).
+	Replicas int
+	// ForwardTimeout bounds each forward attempt (<= 0: 2s).
+	ForwardTimeout time.Duration
+	// Retries is the number of additional attempts after the first failed
+	// forward (< 0: treated as 0; default when zero-valued Config: see New).
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// (<= 0: 100ms).
+	Backoff time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker (<= 0: 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker skips a peer before the
+	// next probe attempt (<= 0: 5s).
+	BreakerCooldown time.Duration
+	// Client issues the forwarded requests (nil: a fresh http.Client; the
+	// per-attempt timeout rides on the request context, not the client).
+	Client *http.Client
+}
+
+// Cluster is one node's view of the fleet: the consistent-hash ring plus a
+// forwarding client with per-peer timeout, retry, backoff and a
+// consecutive-failure circuit breaker. All methods are safe for concurrent
+// use; a nil *Cluster behaves as a single-node cluster (everything local).
+type Cluster struct {
+	// Requests counts forward outcomes per peer: labels (peer, outcome)
+	// with outcome ok|error|fallback|skipped. ForwardSeconds times forward
+	// attempts per peer. Both are optional — the serving layer installs
+	// them after construction; nil instruments no-op.
+	Requests       *obs.CounterVec
+	ForwardSeconds *obs.HistogramVec
+
+	self     string
+	timeout  time.Duration
+	retries  int
+	backoff  time.Duration
+	breakN   int
+	cooldown time.Duration
+	client   *http.Client
+
+	mu    sync.Mutex
+	ring  *Ring
+	peers map[string]*peerState
+}
+
+// peerState is one remote peer's health record.
+type peerState struct {
+	mu          sync.Mutex
+	consecFails int
+	brokenUntil time.Time
+	forwards    int64
+	errs        int64
+	fallbacks   int64
+	lastErr     string
+	lastErrAt   time.Time
+}
+
+// New builds a Cluster from cfg, applying defaults for zero-valued knobs.
+func New(cfg Config) *Cluster {
+	c := &Cluster{
+		self:     NormalizePeer(cfg.Self),
+		timeout:  cfg.ForwardTimeout,
+		retries:  cfg.Retries,
+		backoff:  cfg.Backoff,
+		breakN:   cfg.BreakerThreshold,
+		cooldown: cfg.BreakerCooldown,
+		client:   cfg.Client,
+		peers:    map[string]*peerState{},
+	}
+	if c.timeout <= 0 {
+		c.timeout = 2 * time.Second
+	}
+	if c.retries < 0 {
+		c.retries = 0
+	}
+	if c.backoff <= 0 {
+		c.backoff = 100 * time.Millisecond
+	}
+	if c.breakN <= 0 {
+		c.breakN = 3
+	}
+	if c.cooldown <= 0 {
+		c.cooldown = 5 * time.Second
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	c.SetPeers(cfg.Peers, cfg.Replicas)
+	return c
+}
+
+// Self returns this node's normalized advertised URL.
+func (c *Cluster) Self() string {
+	if c == nil {
+		return ""
+	}
+	return c.self
+}
+
+// SetPeers replaces the membership and rebuilds the ring — the config
+// reload path. Health records of surviving peers are kept; removed peers
+// drop theirs.
+func (c *Cluster) SetPeers(peers []string, replicas int) {
+	if c == nil {
+		return
+	}
+	ring := NewRing(peers, replicas)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ring = ring
+	kept := map[string]*peerState{}
+	for _, p := range ring.Peers() {
+		if p == c.self {
+			continue
+		}
+		if st, ok := c.peers[p]; ok {
+			kept[p] = st
+		} else {
+			kept[p] = &peerState{}
+		}
+	}
+	c.peers = kept
+}
+
+// Peers returns the current ring membership (normalized, sorted).
+func (c *Cluster) Peers() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Peers()
+}
+
+// Owner maps a route key to its owning peer. local is true when this node
+// should execute the request itself: it owns the key, the ring is empty,
+// or the cluster is nil/single-node.
+func (c *Cluster) Owner(key string) (peer string, local bool) {
+	if c == nil {
+		return "", true
+	}
+	c.mu.Lock()
+	ring := c.ring
+	c.mu.Unlock()
+	p := ring.Owner(key)
+	if p == "" || p == c.self {
+		return p, true
+	}
+	return p, false
+}
+
+// state returns the health record for a remote peer (nil for self or an
+// unknown peer).
+func (c *Cluster) state(peer string) *peerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peers[peer]
+}
+
+// Available reports whether a peer's circuit breaker currently permits
+// forwarding. Self is always available; an unknown peer is not.
+func (c *Cluster) Available(peer string) bool {
+	if c == nil || peer == c.self {
+		return true
+	}
+	st := c.state(peer)
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return !time.Now().Before(st.brokenUntil)
+}
+
+// record counts one forward outcome on the optional instrument.
+func (c *Cluster) record(peer, outcome string) {
+	c.Requests.With(peer, outcome).Inc()
+}
+
+// RecordFallback notes that a request owned by peer was executed locally
+// instead (the degraded-mode path). skipped marks a fallback taken without
+// attempting a forward — the breaker was already open.
+func (c *Cluster) RecordFallback(peer string, skipped bool) {
+	if c == nil {
+		return
+	}
+	outcome := "fallback"
+	if skipped {
+		outcome = "skipped"
+	}
+	c.record(peer, outcome)
+	if st := c.state(peer); st != nil {
+		st.mu.Lock()
+		st.fallbacks++
+		st.mu.Unlock()
+	}
+}
+
+// markSuccess closes the peer's breaker and counts a completed forward.
+func (c *Cluster) markSuccess(peer string) {
+	st := c.state(peer)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.consecFails = 0
+	st.brokenUntil = time.Time{}
+	st.forwards++
+	st.mu.Unlock()
+}
+
+// markFailure records one failed attempt and opens the breaker once the
+// consecutive-failure threshold is reached. Every further failure extends
+// the cooldown, so a dead peer is probed at most once per cooldown.
+func (c *Cluster) markFailure(peer string, err error) {
+	st := c.state(peer)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.consecFails++
+	st.errs++
+	st.lastErr = err.Error()
+	st.lastErrAt = time.Now()
+	if st.consecFails >= c.breakN {
+		st.brokenUntil = time.Now().Add(c.cooldown)
+	}
+	st.mu.Unlock()
+}
+
+// cancelBody ties a per-attempt timeout context to the response body: the
+// context stays live until the caller finishes reading, then Close releases
+// it.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// attempt issues one forwarded request with the per-attempt timeout.
+func (c *Cluster) attempt(ctx context.Context, peer, method, pathAndQuery string, header http.Header, body []byte) (*http.Response, error) {
+	actx, cancel := context.WithTimeout(ctx, c.timeout)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, peer+pathAndQuery, rd)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = append([]string(nil), vs...)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// Forward ships a request to a peer, retrying transport errors and 5xx
+// responses with doubling backoff. Any response below 500 — including 4xx
+// — is returned for verbatim proxying; the caller owns resp.Body. On
+// give-up the last error is returned and the caller should fall back to
+// local execution. Health accounting and the (peer, outcome) counters are
+// updated here.
+func (c *Cluster) Forward(ctx context.Context, peer, method, pathAndQuery string, header http.Header, body []byte) (*http.Response, error) {
+	if c == nil {
+		return nil, errors.New("cluster: Forward on nil Cluster")
+	}
+	var lastErr error
+	for i := 0; i <= c.retries; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(c.backoff << (i - 1)):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("cluster: forward to %s: %w (last error: %v)", peer, ctx.Err(), lastErr)
+			}
+		}
+		start := time.Now()
+		resp, err := c.attempt(ctx, peer, method, pathAndQuery, header, body)
+		c.ForwardSeconds.With(peer).Observe(time.Since(start).Seconds())
+		if err == nil && resp.StatusCode < http.StatusInternalServerError {
+			c.markSuccess(peer)
+			c.record(peer, "ok")
+			return resp, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("peer returned %s", resp.Status)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		lastErr = err
+		c.markFailure(peer, err)
+		c.record(peer, "error")
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("cluster: forward to %s failed after %d attempts: %w", peer, c.retries+1, lastErr)
+}
+
+// FetchSnapshot downloads a peer's run-cache snapshot (GET /snapshot) for
+// warm-start merging. The caller's context bounds the whole transfer —
+// snapshots can be far larger than one forwarded request, so the
+// per-attempt forward timeout does not apply. Health accounting is updated
+// like a forward, but the (peer, outcome) request counters are not — a
+// warm-start is not a proxied request.
+func (c *Cluster) FetchSnapshot(ctx context.Context, peer string) ([]byte, error) {
+	if c == nil {
+		return nil, errors.New("cluster: FetchSnapshot on nil Cluster")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.markFailure(peer, err)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("cluster: snapshot from %s: %s", peer, resp.Status)
+		c.markFailure(peer, err)
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.markFailure(peer, err)
+		return nil, err
+	}
+	c.markSuccess(peer)
+	return data, nil
+}
+
+// PeerStatus is one remote peer's health, as reported under /stats.
+type PeerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// ConsecutiveFailures is the current unbroken failure streak; it
+	// resets to zero on any success.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// Forwards counts requests successfully answered by this peer.
+	Forwards int64 `json:"forwards"`
+	// Errors counts failed forward attempts (each retry counts).
+	Errors int64 `json:"errors,omitempty"`
+	// Fallbacks counts requests owned by this peer that were executed
+	// locally because it was unreachable or circuit-broken.
+	Fallbacks int64  `json:"fallbacks,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+	// LastErrorUnixNS is the wall-clock stamp of LastError.
+	LastErrorUnixNS int64 `json:"last_error_unix_ns,omitempty"`
+}
+
+// Status is the cluster block of the /stats document.
+type Status struct {
+	Self  string       `json:"self"`
+	Peers []PeerStatus `json:"peers,omitempty"`
+}
+
+// Status snapshots the membership and per-peer health. Peers are reported
+// in ring (sorted) order, self excluded.
+func (c *Cluster) Status() Status {
+	if c == nil {
+		return Status{}
+	}
+	out := Status{Self: c.self}
+	for _, p := range c.Peers() {
+		if p == c.self {
+			continue
+		}
+		st := c.state(p)
+		if st == nil {
+			continue
+		}
+		st.mu.Lock()
+		ps := PeerStatus{
+			URL:                 p,
+			Healthy:             !time.Now().Before(st.brokenUntil),
+			ConsecutiveFailures: st.consecFails,
+			Forwards:            st.forwards,
+			Errors:              st.errs,
+			Fallbacks:           st.fallbacks,
+			LastError:           st.lastErr,
+		}
+		if !st.lastErrAt.IsZero() {
+			ps.LastErrorUnixNS = st.lastErrAt.UnixNano()
+		}
+		st.mu.Unlock()
+		out.Peers = append(out.Peers, ps)
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unimem/internal/obs"
+)
+
+// newTestCluster builds a two-node cluster whose remote peer is the given
+// httptest server, with fast timeouts suitable for tests.
+func newTestCluster(peerURL string, cfg Config) *Cluster {
+	cfg.Self = "http://self:1"
+	cfg.Peers = []string{cfg.Self, peerURL}
+	if cfg.ForwardTimeout == 0 {
+		cfg.ForwardTimeout = 500 * time.Millisecond
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = time.Millisecond
+	}
+	return New(cfg)
+}
+
+// TestForwardRetryThenSucceed: a peer that fails its first attempt is
+// retried with backoff and the retried response is returned; health
+// recovers to zero consecutive failures.
+func TestForwardRetryThenSucceed(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok:"+r.URL.RawQuery)
+	}))
+	defer srv.Close()
+
+	c := newTestCluster(srv.URL, Config{Retries: 2})
+	resp, err := c.Forward(context.Background(), NormalizePeer(srv.URL),
+		http.MethodGet, "/run?trace=1", nil, nil)
+	if err != nil {
+		t.Fatalf("Forward = %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok:trace=1" {
+		t.Fatalf("forwarded body = %q (query must propagate)", body)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("peer saw %d attempts, want 2", got)
+	}
+	st := c.Status()
+	if len(st.Peers) != 1 || st.Peers[0].ConsecutiveFailures != 0 || !st.Peers[0].Healthy {
+		t.Fatalf("peer health after recovery = %+v", st.Peers)
+	}
+	if st.Peers[0].Forwards != 1 || st.Peers[0].Errors != 1 {
+		t.Fatalf("peer counters = %+v, want 1 forward / 1 error", st.Peers[0])
+	}
+}
+
+// TestForwardGivesUpAndProxies4xx: exhausted retries return an error (the
+// local-fallback trigger), while a 4xx is proxied verbatim without
+// counting as a peer failure.
+func TestForwardGivesUpAndProxies4xx(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/bad" {
+			http.Error(w, "your fault", http.StatusBadRequest)
+			return
+		}
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	peer := NormalizePeer(srv.URL)
+
+	c := newTestCluster(srv.URL, Config{Retries: 1})
+	if _, err := c.Forward(context.Background(), peer, http.MethodPost, "/run", nil, []byte("{}")); err == nil {
+		t.Fatal("Forward to a 500ing peer succeeded, want give-up error")
+	} else if !strings.Contains(err.Error(), "2 attempts") {
+		t.Fatalf("give-up error %q does not mention attempts", err)
+	}
+
+	resp, err := c.Forward(context.Background(), peer, http.MethodGet, "/bad", nil, nil)
+	if err != nil {
+		t.Fatalf("4xx forward = %v, want proxied response", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("proxied status = %d", resp.StatusCode)
+	}
+	st := c.Status().Peers[0]
+	if st.ConsecutiveFailures != 0 {
+		t.Fatalf("4xx counted as failure: %+v", st)
+	}
+}
+
+// TestForwardOwnerTimesOut: a peer that hangs past the per-attempt timeout
+// yields a give-up error — the signal the serving layer turns into local
+// execution — and the elapsed time reflects timeout*attempts, not the hang.
+func TestForwardOwnerTimesOut(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	// Release the hung handler before srv.Close (defers run LIFO), or
+	// Close would wait on it forever.
+	defer srv.Close()
+	defer close(release)
+
+	c := newTestCluster(srv.URL, Config{ForwardTimeout: 50 * time.Millisecond, Retries: 1})
+	start := time.Now()
+	_, err := c.Forward(context.Background(), NormalizePeer(srv.URL), http.MethodGet, "/run", nil, nil)
+	if err == nil {
+		t.Fatal("Forward to a hung peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("forward took %v; per-attempt timeout did not bound the hang", elapsed)
+	}
+}
+
+// TestBreakerOpensAndCoolsDown: enough consecutive failures open the
+// breaker (Available false → the serving layer skips the forward), and the
+// cooldown closes it again for the next probe.
+func TestBreakerOpensAndCoolsDown(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	peer := NormalizePeer(srv.URL)
+
+	c := newTestCluster(srv.URL, Config{
+		Retries: 0, BreakerThreshold: 3, BreakerCooldown: 50 * time.Millisecond,
+	})
+	if !c.Available(peer) {
+		t.Fatal("fresh peer not available")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Forward(context.Background(), peer, http.MethodGet, "/run", nil, nil); err == nil {
+			t.Fatal("want forward failure")
+		}
+	}
+	if c.Available(peer) {
+		t.Fatal("breaker did not open after 3 consecutive failures")
+	}
+	if st := c.Status().Peers[0]; st.Healthy || st.ConsecutiveFailures != 3 || st.LastError == "" {
+		t.Fatalf("status while broken = %+v", st)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !c.Available(peer) {
+		t.Fatal("breaker did not cool down")
+	}
+}
+
+// TestRecordFallbackAndMetrics: fallback/skip accounting reaches both the
+// per-peer counters and the obs instruments with the right outcome labels.
+func TestRecordFallbackAndMetrics(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	peer := NormalizePeer(srv.URL)
+
+	reg := obs.NewRegistry()
+	c := newTestCluster(srv.URL, Config{})
+	c.Requests = reg.CounterVec("unimem_cluster_peer_requests_total", "t", "peer", "outcome")
+	c.ForwardSeconds = reg.HistogramVec("unimem_cluster_forward_seconds", "t", nil, "peer")
+
+	resp, err := c.Forward(context.Background(), peer, http.MethodGet, "/run", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.RecordFallback(peer, false)
+	c.RecordFallback(peer, true)
+
+	if got := c.Requests.With(peer, "ok").Value(); got != 1 {
+		t.Fatalf("ok counter = %d", got)
+	}
+	if got := c.Requests.With(peer, "fallback").Value(); got != 1 {
+		t.Fatalf("fallback counter = %d", got)
+	}
+	if got := c.Requests.With(peer, "skipped").Value(); got != 1 {
+		t.Fatalf("skipped counter = %d", got)
+	}
+	if got := c.ForwardSeconds.With(peer).Count(); got != 1 {
+		t.Fatalf("forward histogram count = %d", got)
+	}
+	if st := c.Status().Peers[0]; st.Fallbacks != 2 {
+		t.Fatalf("fallback count in status = %d", st.Fallbacks)
+	}
+}
+
+// TestOwnerAndSetPeers: Owner resolves locality, and a SetPeers reload
+// rebuilds the ring while keeping surviving peers' health records.
+func TestOwnerAndSetPeers(t *testing.T) {
+	self := "http://self:1"
+	c := New(Config{Self: self, Peers: []string{self, "http://b:1", "http://c:1"}})
+
+	sawLocal, sawRemote := false, false
+	for _, k := range ringKeys(200) {
+		peer, local := c.Owner(k)
+		if local {
+			if peer != self && peer != "" {
+				t.Fatalf("local ownership of %q reported peer %q", k, peer)
+			}
+			sawLocal = true
+		} else {
+			if peer == self || peer == "" {
+				t.Fatalf("remote ownership of %q reported %q", k, peer)
+			}
+			sawRemote = true
+		}
+	}
+	if !sawLocal || !sawRemote {
+		t.Fatalf("ownership never split: local=%v remote=%v", sawLocal, sawRemote)
+	}
+
+	c.markFailure("http://b:1", context.DeadlineExceeded)
+	c.SetPeers([]string{self, "http://b:1", "http://d:1"}, 0)
+	st := c.Status()
+	if len(st.Peers) != 2 {
+		t.Fatalf("peers after reload = %+v", st.Peers)
+	}
+	if st.Peers[0].URL != "http://b:1" || st.Peers[0].Errors != 1 {
+		t.Fatalf("surviving peer lost its health record: %+v", st.Peers[0])
+	}
+	if _, local := c.Owner("anything"); local {
+		_ = local // ownership may be local or remote; just exercise the reloaded ring
+	}
+
+	// Single-node and nil clusters are always local.
+	solo := New(Config{Self: self, Peers: []string{self}})
+	if _, local := solo.Owner("k"); !local {
+		t.Fatal("single-node cluster not local")
+	}
+	var nilC *Cluster
+	if _, local := nilC.Owner("k"); !local {
+		t.Fatal("nil cluster not local")
+	}
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates a deterministic key population shaped like real route
+// keys (pipe-separated fields with small varying integers).
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cg|C|spec%04d|fp%02d|xmem|%d|1|%d|0|0",
+			i, i%17, 2+i%7, i%13)
+	}
+	return keys
+}
+
+func peerNames(n int) []string {
+	ps := make([]string, n)
+	for i := range ps {
+		ps[i] = fmt.Sprintf("http://node-%d:9090", i)
+	}
+	return ps
+}
+
+// TestRingBalance: with 128 vnodes, key load across 2–8 peers stays within
+// a modest factor of perfectly even.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(10000)
+	for n := 2; n <= 8; n++ {
+		r := NewRing(peerNames(n), 0)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d peers: only %d received keys", n, len(counts))
+		}
+		mean := float64(len(keys)) / float64(n)
+		for p, c := range counts {
+			if ratio := float64(c) / mean; ratio > 1.35 || ratio < 0.65 {
+				t.Errorf("%d peers: %s owns %d keys (%.2fx the mean)", n, p, c, ratio)
+			}
+		}
+	}
+}
+
+// TestRingDeterministic: every spelling of the same membership — order,
+// duplicates, trailing slashes, whitespace — yields identical ownership,
+// the property that lets independently configured nodes agree.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	b := NewRing([]string{" http://c:1/", "http://a:1", "http://b:1", "http://a:1/"}, 0)
+	for _, k := range ringKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings over the same peers disagree on %q: %q vs %q",
+				k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingMinimalRemappingOnAdd: growing n peers to n+1 moves roughly 1/(n+1)
+// of the keys, and every moved key lands on the new peer — existing peers
+// never trade keys among themselves.
+func TestRingMinimalRemappingOnAdd(t *testing.T) {
+	keys := ringKeys(10000)
+	for n := 2; n <= 7; n++ {
+		old := NewRing(peerNames(n), 0)
+		grown := NewRing(peerNames(n+1), 0)
+		added := NormalizePeer(peerNames(n + 1)[n])
+		moved := 0
+		for _, k := range keys {
+			was, is := old.Owner(k), grown.Owner(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != added {
+				t.Fatalf("%d->%d peers: key %q moved %q -> %q, not to the new peer %q",
+					n, n+1, k, was, is, added)
+			}
+		}
+		ideal := float64(len(keys)) / float64(n+1)
+		if frac := float64(moved) / ideal; frac > 2 || frac < 0.5 {
+			t.Errorf("%d->%d peers: %d keys moved, %.2fx the ideal %d",
+				n, n+1, moved, frac, int(ideal))
+		}
+	}
+}
+
+// TestRingMinimalRemappingOnRemove: removing a peer reassigns exactly that
+// peer's keys; every other key keeps its owner.
+func TestRingMinimalRemappingOnRemove(t *testing.T) {
+	keys := ringKeys(10000)
+	peers := peerNames(5)
+	full := NewRing(peers, 0)
+	removed := NormalizePeer(peers[2])
+	shrunk := NewRing(append(append([]string(nil), peers[:2]...), peers[3:]...), 0)
+	for _, k := range keys {
+		was, is := full.Owner(k), shrunk.Owner(k)
+		if was == removed {
+			if is == removed {
+				t.Fatalf("key %q still owned by removed peer", k)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, was, is)
+		}
+	}
+}
+
+// TestRingEdgeCases: empty and single-peer rings.
+func TestRingEdgeCases(t *testing.T) {
+	var nilRing *Ring
+	if got := nilRing.Owner("k"); got != "" {
+		t.Fatalf("nil ring owner = %q", got)
+	}
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("k"); got != "" || empty.Len() != 0 {
+		t.Fatalf("empty ring: owner %q len %d", got, empty.Len())
+	}
+	solo := NewRing([]string{"http://only:1/"}, 0)
+	for _, k := range ringKeys(50) {
+		if got := solo.Owner(k); got != "http://only:1" {
+			t.Fatalf("single-peer ring routed %q to %q", k, got)
+		}
+	}
+}

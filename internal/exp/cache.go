@@ -6,6 +6,7 @@ import (
 	"errors"
 	"hash/fnv"
 	"strings"
+	"time"
 
 	"fmt"
 	"sync"
@@ -53,6 +54,30 @@ type RunKey struct {
 	Seed   uint64
 	MatCap int64
 	Chunk  int64
+}
+
+// String renders the key as one stable line: every field in declaration
+// order, "|"-separated. It is the unit both the shard hash and the cluster
+// layer's consistent-hash ring operate on — two processes built from the
+// same source render identical strings for identical runs, which is what
+// lets independent daemons agree on a key's owning peer without
+// coordination.
+func (k RunKey) String() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d|%d|%d|%d|%d",
+		k.Workload, k.Spec, k.Machine, k.Strategy,
+		k.Ranks, k.RPN, k.Seed, k.MatCap, k.Chunk)
+}
+
+// RouteKey derives the routing identity of one prospective run: the same
+// RunKey the engine would cache it under — Quick prep, the strategy's
+// target-machine derivation and its cache-key name included — rendered as
+// a stable string. The serve layer hashes it onto the cluster's
+// consistent-hash ring, so the peer that owns a key is exactly the peer
+// whose run cache will hold (or already holds) the memoized result.
+func RouteKey(w *workloads.Workload, m *machine.Machine, st Strategy, quick bool, opts app.Options) string {
+	w = prepQuick(w, quick)
+	m = st.targetMachine(m)
+	return keyFor(w, m, st.cacheKey(), opts).String()
 }
 
 // keyFor builds the cache key for running w on m under the named placement
@@ -111,6 +136,11 @@ type cacheEntry struct {
 	completed bool
 	size      int64
 	elem      *list.Element
+	// completedAt stamps (unix nanoseconds) when the entry finished
+	// executing — or, for snapshot-seeded entries, when the originating
+	// node completed it. Snapshot merges resolve key conflicts by this
+	// stamp: the newer completed run wins. Guarded by the shard mutex.
+	completedAt int64
 }
 
 // cacheShardCount is the shard fan-out. Sixteen shards keep lock hold
@@ -187,9 +217,7 @@ func NewRunCacheBounded(maxEntries int, maxBytes int64) *RunCache {
 // shard maps a key to its lock domain.
 func (c *RunCache) shard(key RunKey) *cacheShard {
 	h := fnv.New32a()
-	fmt.Fprintf(h, "%s|%s|%s|%s|%d|%d|%d|%d|%d",
-		key.Workload, key.Spec, key.Machine, key.Strategy,
-		key.Ranks, key.RPN, key.Seed, key.MatCap, key.Chunk)
+	h.Write([]byte(key.String()))
 	return &c.shards[h.Sum32()%cacheShardCount]
 }
 
@@ -259,8 +287,12 @@ func (c *RunCache) DoInfo(ctx context.Context, key RunKey, run func() (*app.Resu
 			}
 			sh.mu.Lock()
 			sh.hits++
+			// Capture under the lock: a snapshot merge may replace a
+			// completed entry's result pointer in place (seedResult), so an
+			// unlocked read here would race with it.
+			res, rerr := e.res, e.err
 			sh.mu.Unlock()
-			return e.res, true, e.err
+			return res, true, rerr
 		}
 		e := &cacheEntry{key: key, done: make(chan struct{})}
 		sh.entries[key] = e
@@ -272,13 +304,14 @@ func (c *RunCache) DoInfo(ctx context.Context, key RunKey, run func() (*app.Resu
 		sh.misses++
 		sh.mu.Unlock()
 
-		e.res, e.err = run()
+		res, err := run()
 		// Settle the entry's fate under the lock BEFORE waking waiters:
 		// a cancelled entry must already be gone when its waiters retry
 		// (they would otherwise spin on the stale entry until this
 		// goroutine reacquired the lock), and a successful entry must be
 		// fully accounted before a waiter can observe it.
 		sh.mu.Lock()
+		e.res, e.err = res, err
 		if isCtxErr(e.err) {
 			if sh.entries[key] == e {
 				delete(sh.entries, key)
@@ -286,13 +319,14 @@ func (c *RunCache) DoInfo(ctx context.Context, key RunKey, run func() (*app.Resu
 			}
 		} else {
 			e.completed = true
+			e.completedAt = time.Now().UnixNano()
 			e.size = resultFootprint(e.res)
 			sh.bytes += e.size
 			c.evictLocked(sh)
 		}
 		sh.mu.Unlock()
 		close(e.done)
-		return e.res, false, e.err
+		return res, false, err
 	}
 }
 
@@ -321,25 +355,56 @@ func (c *RunCache) evictLocked(sh *cacheShard) {
 	}
 }
 
-// seed installs an already-computed successful result as a completed
-// entry (the snapshot-load path). It counts as Loaded rather than a miss,
-// refuses to overwrite a live entry, and respects the shard budgets. It
-// reports whether the entry was installed.
-func (c *RunCache) seed(key RunKey, res *app.Result) bool {
+// seedResult is how a snapshot-load or merge installs an already-computed
+// successful result as a completed entry. completedAt is the originating
+// node's completion stamp (0: unknown — treated as older than any stamped
+// entry). It counts as Loaded rather than a miss, respects the shard
+// budgets, and resolves key conflicts conservatively:
+//
+//   - an in-flight local entry (waiters parked on it) is never touched;
+//   - a completed local entry survives unless the incoming entry carries a
+//     strictly newer completion stamp, in which case the incoming result
+//     replaces it in place (newer completed run wins).
+//
+// It returns what happened: seedAdded, seedReplaced or seedSkipped.
+func (c *RunCache) seedResult(key RunKey, res *app.Result, completedAt int64) seedOutcome {
 	sh := c.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.entries[key]; ok {
-		return false
+	if prev, ok := sh.entries[key]; ok {
+		if !prev.completed || prev.err != nil || prev.completedAt >= completedAt {
+			return seedSkipped
+		}
+		// Replace in place: swap the result and re-account the byte budget;
+		// the entry keeps its LRU position and its already-closed done
+		// channel (concurrent readers that captured the old pointer keep a
+		// consistent, immutable result — results are shared by pointer and
+		// never mutated).
+		size := resultFootprint(res)
+		sh.bytes += size - prev.size
+		prev.res, prev.size, prev.completedAt = res, size, completedAt
+		sh.loaded++
+		c.evictLocked(sh)
+		return seedReplaced
 	}
-	e := &cacheEntry{key: key, done: closedChan, res: res, completed: true, size: resultFootprint(res)}
+	e := &cacheEntry{key: key, done: closedChan, res: res, completed: true,
+		size: resultFootprint(res), completedAt: completedAt}
 	sh.entries[key] = e
 	e.elem = sh.lru.PushFront(e)
 	sh.bytes += e.size
 	sh.loaded++
 	c.evictLocked(sh)
-	return true
+	return seedAdded
 }
+
+// seedOutcome is seedResult's conflict-resolution verdict.
+type seedOutcome int
+
+const (
+	seedSkipped seedOutcome = iota
+	seedAdded
+	seedReplaced
+)
 
 // closedChan is the pre-closed done channel of seeded entries.
 var closedChan = func() chan struct{} {

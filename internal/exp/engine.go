@@ -90,8 +90,10 @@ func (e *Engine) Stats() CacheStats {
 	return cache.Stats()
 }
 
-// prep applies Quick-mode iteration capping.
-func (e *Engine) prep(w *workloads.Workload, quick bool) *workloads.Workload {
+// prepQuick applies Quick-mode iteration capping. It is a free function —
+// not engine state — because the cluster route key must reproduce the
+// exact workload the cache will key on (see RouteKey).
+func prepQuick(w *workloads.Workload, quick bool) *workloads.Workload {
 	if quick && w.Iterations > 12 {
 		cp := *w
 		cp.Iterations = 12
@@ -178,7 +180,7 @@ func (e *Engine) ExecuteInfo(ctx context.Context, w *workloads.Workload, m *mach
 		return nil, nil, info, fmt.Errorf("exp: zero Strategy value (use one of the Strategy constructors)")
 	}
 	quick, cache := e.snapshot()
-	w = e.prep(w, quick)
+	w = prepQuick(w, quick)
 	m = st.targetMachine(m)
 	tr := opts.Trace
 

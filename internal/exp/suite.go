@@ -125,7 +125,7 @@ func (s *Suite) calibration(m *machine.Machine) model.Calibration {
 
 // prep applies Quick-mode iteration capping.
 func (s *Suite) prep(w *workloads.Workload) *workloads.Workload {
-	return s.engine().prep(w, s.Quick)
+	return prepQuick(w, s.Quick)
 }
 
 // unimemConfig builds the Unimem config for a machine with the shared

@@ -7,6 +7,8 @@ import (
 	"strings"
 
 	"unimem"
+	"unimem/internal/cluster"
+	"unimem/internal/exp"
 	"unimem/internal/workloads"
 )
 
@@ -395,6 +397,27 @@ type SnapshotJSON struct {
 	LoadedEntries int `json:"loaded_entries"`
 	// Version is the envelope format version the server reads/writes.
 	Version int `json:"version"`
+	// AgeSeconds is seconds since the on-disk snapshot was written (file
+	// mtime, so meaningful across restarts); -1 when no file exists yet.
+	AgeSeconds float64 `json:"age_seconds"`
+	// LastSaveUnixNS / LastSaveEntries describe this process's most recent
+	// SaveCache (zero/absent before the first save).
+	LastSaveUnixNS  int64 `json:"last_save_unix_ns,omitempty"`
+	LastSaveEntries int   `json:"last_save_entries,omitempty"`
+}
+
+// MergeJSON summarizes the snapshot merges this process has performed
+// (POST /snapshot/merge and peer warm-starts).
+type MergeJSON struct {
+	// LastUnixNS stamps the most recent merge.
+	LastUnixNS int64 `json:"last_unix_ns"`
+	// Last is the most recent merge's added/replaced/skipped counts.
+	Last exp.MergeStats `json:"last"`
+	// Merges counts merges performed; TotalAdded/TotalReplaced accumulate
+	// across them.
+	Merges        int `json:"merges"`
+	TotalAdded    int `json:"total_added"`
+	TotalReplaced int `json:"total_replaced"`
 }
 
 // StatsResponse is /stats's reply: cache effectiveness, persistence
@@ -408,11 +431,17 @@ type StatsResponse struct {
 	// Uptime is seconds since the server started.
 	Uptime float64 `json:"uptime_seconds"`
 	// Build identifies the serving binary.
-	Build      *BuildJSON    `json:"build,omitempty"`
-	Snapshot   *SnapshotJSON `json:"snapshot,omitempty"`
-	Sessions   []SessionJSON `json:"sessions"`
-	Platforms  []string      `json:"platforms"`
-	Strategies []string      `json:"strategies"`
+	Build    *BuildJSON    `json:"build,omitempty"`
+	Snapshot *SnapshotJSON `json:"snapshot,omitempty"`
+	// Merge summarizes snapshot merges performed (absent before the
+	// first).
+	Merge *MergeJSON `json:"merge,omitempty"`
+	// Cluster reports ring membership and per-peer forward health (absent
+	// when single-node).
+	Cluster    *cluster.Status `json:"cluster,omitempty"`
+	Sessions   []SessionJSON   `json:"sessions"`
+	Platforms  []string        `json:"platforms"`
+	Strategies []string        `json:"strategies"`
 }
 
 // BuildJSON identifies the serving binary (module version or VCS

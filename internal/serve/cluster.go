@@ -1,0 +1,337 @@
+package serve
+
+// This file is the server's cluster face: request forwarding to ring
+// owners with graceful local fallback, the snapshot exchange endpoints
+// (GET /snapshot, POST /snapshot/merge), peer warm-start, and the
+// readiness probe that load balancers watch while snapshots merge or the
+// daemon drains.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"unimem"
+	"unimem/internal/cluster"
+	"unimem/internal/exp"
+)
+
+// forwardedHeader marks a request that already crossed one node hop. A
+// forwarded request always executes where it lands — one hop maximum, so
+// two nodes with momentarily divergent ring views can never bounce a
+// request between each other.
+const forwardedHeader = "X-Unimem-Forwarded"
+
+// nodeHeader names the node that executed the request; on a proxied
+// response it carries the owner's name through to the client.
+const nodeHeader = "X-Unimem-Node"
+
+// maxSnapshotBytes bounds one POST /snapshot/merge body. Snapshot entries
+// are a few KB each; 256 MiB covers any cache the entry budget allows
+// while still bounding what an untrusted peer can make this node buffer.
+const maxSnapshotBytes = 256 << 20
+
+// forwardBuckets shape the forward-latency histogram: forwards are
+// cache-hit-sized (sub-millisecond plus a network hop) far more often
+// than cold-run-sized, so the resolution concentrates low.
+var forwardBuckets = []float64{
+	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30,
+}
+
+// SetCluster installs the cluster: /run requests whose route key hashes
+// to a peer are forwarded there, and the peer-health instruments register
+// on the /metrics registry. Call once, before serving; a nil cluster (or
+// never calling) leaves the server single-node.
+func (s *Server) SetCluster(c *cluster.Cluster) {
+	s.cluster = c
+	if c == nil || s.metrics.reg == nil {
+		return
+	}
+	c.Requests = s.metrics.reg.CounterVec("unimem_cluster_peer_requests_total",
+		"Cluster forward outcomes by peer: ok (owner answered), error (failed attempt), "+
+			"fallback (owner unreachable, executed locally), skipped (circuit open, executed locally).",
+		"peer", "outcome")
+	c.ForwardSeconds = s.metrics.reg.HistogramVec("unimem_cluster_forward_seconds",
+		"Latency of forward attempts to cluster peers.", forwardBuckets, "peer")
+	s.metrics.reg.GaugeFunc("unimem_cluster_peers",
+		"Peers on the consistent-hash ring (including this node).",
+		func() float64 { return float64(len(c.Peers())) })
+	s.metrics.reg.GaugeFunc("unimem_cluster_peers_healthy",
+		"Remote peers whose circuit breaker is currently closed.",
+		func() float64 {
+			n := 0
+			for _, p := range c.Peers() {
+				if p != c.Self() && c.Available(p) {
+					n++
+				}
+			}
+			return float64(n)
+		})
+}
+
+// Cluster returns the installed cluster (nil when single-node).
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
+
+// routeKey computes the request's ring key: the exact string form of the
+// cache key the run would occupy, including the session-level seed
+// fallback and Quick prep the engine applies — so the ring owner of a key
+// is the peer whose cache holds (or will hold) its result.
+func (s *Server) routeKey(m *unimem.Machine, job unimem.Job) string {
+	opts := job.Options
+	if opts.Seed == 0 {
+		opts.Seed = s.cfg.Seed
+	}
+	return exp.RouteKey(job.Workload, m, job.Strategy, s.cfg.Quick, opts)
+}
+
+// forwardToOwner routes one decoded /run request: if a cluster is
+// installed and the route key belongs to a reachable peer, the raw body
+// is forwarded there and the peer's response proxied back (true). Every
+// other case — single-node, locally-owned key, already-forwarded request,
+// circuit-broken or unreachable owner — returns false and the caller
+// executes locally: the degraded cluster answers everything.
+func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, m *unimem.Machine, job unimem.Job, body []byte) bool {
+	c := s.cluster
+	if c == nil {
+		return false
+	}
+	w.Header().Set(nodeHeader, c.Self())
+	if r.Header.Get(forwardedHeader) != "" {
+		return false // terminal hop: forwarded requests execute where they land
+	}
+	peer, local := c.Owner(s.routeKey(m, job))
+	if local {
+		return false
+	}
+	if !c.Available(peer) {
+		c.RecordFallback(peer, true)
+		return false
+	}
+	hdr := http.Header{
+		"Content-Type":  {"application/json"},
+		forwardedHeader: {"1"},
+	}
+	pathq := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathq += "?" + r.URL.RawQuery
+	}
+	resp, err := c.Forward(r.Context(), peer, http.MethodPost, pathq, hdr, body)
+	if err != nil {
+		s.cfg.Logf("serve: forward to %s failed, executing locally: %v", peer, err)
+		c.RecordFallback(peer, false)
+		return false
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if node := resp.Header.Get(nodeHeader); node != "" {
+		w.Header().Set(nodeHeader, node)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// readDecodeJSON reads a bounded request body and strictly decodes it
+// (unknown fields rejected), answering 400 itself on failure. Unlike
+// decodeJSON it returns the raw bytes, so the caller can replay the
+// request to a cluster peer verbatim.
+func readDecodeJSON(w http.ResponseWriter, r *http.Request, dst any) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading request: %v", err)
+		return nil, false
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// blockReady registers a named readiness blocker; the returned func
+// releases it. /readyz answers 503 while any blocker is held.
+func (s *Server) blockReady(reason string) func() {
+	s.readyMu.Lock()
+	s.readyBlockers[reason]++
+	s.readyMu.Unlock()
+	return func() {
+		s.readyMu.Lock()
+		s.readyBlockers[reason]--
+		if s.readyBlockers[reason] <= 0 {
+			delete(s.readyBlockers, reason)
+		}
+		s.readyMu.Unlock()
+	}
+}
+
+// SetDraining flips the draining state: the SIGTERM handler sets it
+// before http.Server.Shutdown so /readyz goes 503 while in-flight
+// requests finish. /healthz (liveness) is unaffected — the process is up.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// handleReadyz is the readiness probe: 200 when the node should receive
+// traffic, 503 (with the blocking reasons) while draining or while a
+// snapshot load/merge holds a readiness blocker.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	s.readyMu.Lock()
+	for reason := range s.readyBlockers {
+		reasons = append(reasons, reason)
+	}
+	s.readyMu.Unlock()
+	if len(reasons) > 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reasons": reasons})
+		return
+	}
+	writeJSON(w, map[string]any{"ready": true, "version": Version()})
+}
+
+// handleSnapshot streams the run cache as a snapshot document — the same
+// bytes SaveSnapshot writes to disk — for peers (and operators) to merge.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := s.cache.WriteSnapshot(w); err != nil {
+		// Headers are gone; all we can do is log.
+		s.cfg.Logf("serve: writing snapshot: %v", err)
+	}
+}
+
+// MergeResponse is POST /snapshot/merge's reply.
+type MergeResponse struct {
+	exp.MergeStats
+	// Entries is the resident cache entry count after the merge.
+	Entries int `json:"entries"`
+}
+
+// handleSnapshotMerge merges a posted snapshot document into the live
+// cache. The cache's own guarantees make this safe mid-serve: the whole
+// payload decodes and version-checks before anything is touched (corrupt
+// peer data leaves the cache exactly as it was → 400), in-flight entries
+// are never merged over, and same-key conflicts resolve newer-completed-
+// wins. A readiness blocker is held for the duration.
+func (s *Server) handleSnapshotMerge(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading snapshot: %v", err)
+		return
+	}
+	unblock := s.blockReady("snapshot-merge")
+	defer unblock()
+	st, err := s.cache.MergeSnapshot(body)
+	if err != nil {
+		if errors.Is(err, exp.ErrSnapshotVersion) {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			httpError(w, http.StatusBadRequest, "merging snapshot: %v", err)
+		}
+		return
+	}
+	s.recordMerge(st)
+	writeJSON(w, MergeResponse{MergeStats: st, Entries: s.cache.Stats().Entries})
+}
+
+// recordMerge folds one merge's stats into the /stats bookkeeping.
+func (s *Server) recordMerge(st exp.MergeStats) {
+	s.readyMu.Lock()
+	s.lastMerge = time.Now()
+	s.lastMergeSt = st
+	s.mergeCount++
+	s.mergeAdded += st.Added
+	s.mergeReplaced += st.Replaced
+	s.readyMu.Unlock()
+}
+
+// WarmStartFromPeers fetches and merges every remote peer's snapshot —
+// the cluster cold-start path (-warm-from-peers): a node joining an
+// established fleet begins its life already holding the fleet's completed
+// runs. Unreachable peers are skipped with a log line; the node starts
+// regardless. Returns the number of entries added or refreshed. A
+// readiness blocker is held for the duration.
+func (s *Server) WarmStartFromPeers(ctx context.Context) int {
+	c := s.cluster
+	if c == nil {
+		return 0
+	}
+	unblock := s.blockReady("peer-warm-start")
+	defer unblock()
+	total := 0
+	for _, p := range c.Peers() {
+		if p == c.Self() {
+			continue
+		}
+		data, err := c.FetchSnapshot(ctx, p)
+		if err != nil {
+			s.cfg.Logf("serve: warm-start from %s: %v", p, err)
+			continue
+		}
+		st, err := s.cache.MergeSnapshot(data)
+		if err != nil {
+			s.cfg.Logf("serve: warm-start from %s: merging: %v", p, err)
+			continue
+		}
+		s.recordMerge(st)
+		s.cfg.Logf("serve: warm-started from %s: %d added, %d replaced, %d skipped",
+			p, st.Added, st.Replaced, st.Skipped)
+		total += st.Added + st.Replaced
+	}
+	return total
+}
+
+// snapshotAge reports seconds since the on-disk snapshot was written
+// (from the file's mtime, so it is meaningful across restarts), or -1
+// when no snapshot file exists.
+func (s *Server) snapshotAge() float64 {
+	path := s.SnapshotPath()
+	if path == "" {
+		return -1
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return -1
+	}
+	return time.Since(fi.ModTime()).Seconds()
+}
+
+// statsCluster fills the cluster/merge/snapshot-age blocks of /stats.
+func (s *Server) statsCluster(resp *StatsResponse) {
+	if resp.Snapshot != nil {
+		if age := s.snapshotAge(); age >= 0 {
+			resp.Snapshot.AgeSeconds = age
+		} else {
+			resp.Snapshot.AgeSeconds = -1
+		}
+	}
+	s.readyMu.Lock()
+	if resp.Snapshot != nil && !s.lastSave.IsZero() {
+		resp.Snapshot.LastSaveUnixNS = s.lastSave.UnixNano()
+		resp.Snapshot.LastSaveEntries = s.lastSaveCount
+	}
+	if s.mergeCount > 0 {
+		resp.Merge = &MergeJSON{
+			LastUnixNS:    s.lastMerge.UnixNano(),
+			Last:          s.lastMergeSt,
+			Merges:        s.mergeCount,
+			TotalAdded:    s.mergeAdded,
+			TotalReplaced: s.mergeReplaced,
+		}
+	}
+	s.readyMu.Unlock()
+	if s.cluster != nil {
+		st := s.cluster.Status()
+		resp.Cluster = &st
+	}
+}

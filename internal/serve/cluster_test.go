@@ -1,0 +1,422 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unimem/internal/cluster"
+	"unimem/internal/serve"
+)
+
+// clusterNode is one node of an in-process test cluster.
+type clusterNode struct {
+	srv *serve.Server
+	ts  *httptest.Server
+	url string // normalized peer name
+}
+
+// newClusterNodes builds n serve.Servers behind httptest front ends and
+// wires them into one cluster with fast timeouts. extraPeers (e.g. a dead
+// node's URL) join the ring without a live server.
+func newClusterNodes(t *testing.T, n int, cfg serve.Config, extraPeers ...string) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	peers := append([]string(nil), extraPeers...)
+	for i := range nodes {
+		srv, err := serve.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		nodes[i] = &clusterNode{srv: srv, ts: ts, url: cluster.NormalizePeer(ts.URL)}
+		peers = append(peers, ts.URL)
+	}
+	for _, n := range nodes {
+		n.srv.SetCluster(cluster.New(cluster.Config{
+			Self:            n.url,
+			Peers:           peers,
+			ForwardTimeout:  5 * time.Second,
+			Retries:         1,
+			Backoff:         5 * time.Millisecond,
+			BreakerCooldown: 100 * time.Millisecond,
+		}))
+	}
+	return nodes
+}
+
+// seededRun is cgRun with a per-request seed, so requests spread across
+// the ring.
+func seededRun(strategy string, seed uint64) serve.RunRequest {
+	req := cgRun(strategy)
+	req.Seed = seed
+	return req
+}
+
+// postRun posts one /run request and decodes the response, returning the
+// responding node's X-Unimem-Node header.
+func postRun(t *testing.T, base string, req serve.RunRequest) (serve.RunResponse, string, int) {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/run", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr serve.RunResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatalf("decoding /run response: %v", err)
+		}
+	}
+	return rr, resp.Header.Get("X-Unimem-Node"), resp.StatusCode
+}
+
+// TestClusterForwardsToOwner: on a two-node cluster, every request is
+// answered correctly through whichever node receives it; remotely-owned
+// requests are forwarded (the response names the owner) and execute
+// exactly once cluster-wide, so a repeat through the other node is a hit.
+func TestClusterForwardsToOwner(t *testing.T) {
+	nodes := newClusterNodes(t, 2, serve.Config{Quick: true, Workers: 2})
+	a, b := nodes[0], nodes[1]
+
+	forwarded := ""
+	for seed := uint64(1); seed <= 8; seed++ {
+		rr, node, status := postRun(t, a.ts.URL, seededRun("xmem", seed))
+		if status != http.StatusOK || rr.Error != "" {
+			t.Fatalf("seed %d: status %d error %q", seed, status, rr.Error)
+		}
+		if rr.TimeNS <= 0 {
+			t.Fatalf("seed %d: empty outcome %+v", seed, rr.OutcomeJSON)
+		}
+		if node != a.url && node != b.url {
+			t.Fatalf("seed %d: X-Unimem-Node = %q, want one of the two nodes", seed, node)
+		}
+		if node == b.url && forwarded == "" {
+			forwarded = fmt.Sprint(seed)
+		}
+	}
+	if forwarded == "" {
+		t.Fatal("no request out of 8 was forwarded to the peer — ring routing is not happening")
+	}
+
+	// Cluster-wide, each of the 8 distinct runs executed exactly once.
+	missesA := getStats(t, a.ts.URL).Cache.Misses
+	missesB := getStats(t, b.ts.URL).Cache.Misses
+	if missesA+missesB != 8 {
+		t.Fatalf("cluster-wide misses = %d + %d, want 8 (one execution per distinct run)",
+			missesA, missesB)
+	}
+
+	// A repeat through node B routes to the same owner and hits its cache.
+	for seed := uint64(1); seed <= 8; seed++ {
+		rr, _, status := postRun(t, b.ts.URL, seededRun("xmem", seed))
+		if status != http.StatusOK || rr.Error != "" || !rr.CacheHit {
+			t.Fatalf("repeat seed %d: status %d hit %v error %q", seed, status, rr.CacheHit, rr.Error)
+		}
+	}
+	if mA, mB := getStats(t, a.ts.URL).Cache.Misses, getStats(t, b.ts.URL).Cache.Misses; mA+mB != 8 {
+		t.Fatalf("repeats re-executed: misses now %d + %d", mA, mB)
+	}
+
+	// The forward counters surfaced on /stats and /metrics.
+	st := getStats(t, a.ts.URL)
+	if st.Cluster == nil || st.Cluster.Self != a.url || len(st.Cluster.Peers) != 1 {
+		t.Fatalf("/stats cluster block = %+v", st.Cluster)
+	}
+	resp, err := http.Get(a.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"# TYPE unimem_cluster_peer_requests_total counter",
+		"# TYPE unimem_cluster_forward_seconds histogram",
+		`outcome="ok"`,
+		"unimem_cluster_peers 2",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestClusterOwnerDownFallsBackLocally is the degraded-mode acceptance
+// check: with one ring peer dead, every request to the live node still
+// answers 200 with a real result — remotely-owned keys just execute
+// locally — and the fallback is visible in the peer counters.
+func TestClusterOwnerDownFallsBackLocally(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from now on
+
+	nodes := newClusterNodes(t, 1, serve.Config{Quick: true, Workers: 2}, deadURL)
+	a := nodes[0]
+
+	for seed := uint64(1); seed <= 8; seed++ {
+		rr, node, status := postRun(t, a.ts.URL, seededRun("xmem", seed))
+		if status != http.StatusOK || rr.Error != "" || rr.TimeNS <= 0 {
+			t.Fatalf("seed %d with dead peer: status %d error %q", seed, status, rr.Error)
+		}
+		if node != a.url {
+			t.Fatalf("seed %d: answered by %q, want the live node", seed, node)
+		}
+	}
+
+	st := getStats(t, a.ts.URL)
+	if st.Cluster == nil || len(st.Cluster.Peers) != 1 {
+		t.Fatalf("/stats cluster block = %+v", st.Cluster)
+	}
+	peer := st.Cluster.Peers[0]
+	if peer.URL != cluster.NormalizePeer(deadURL) {
+		t.Fatalf("peer URL = %q", peer.URL)
+	}
+	if peer.Fallbacks == 0 {
+		t.Fatalf("no fallbacks recorded against the dead peer: %+v (8 seeds should spread across 2 peers)", peer)
+	}
+	if peer.Errors == 0 || peer.LastError == "" {
+		t.Fatalf("dead peer's failures not recorded: %+v", peer)
+	}
+}
+
+// TestSnapshotExchangeOverHTTP: GET /snapshot from a warm node, POST it
+// to a cold node's /snapshot/merge, and the repeat request is a hit with
+// zero fresh executions on the cold node.
+func TestSnapshotExchangeOverHTTP(t *testing.T) {
+	_, tsA := newTestServer(t, serve.Config{Quick: true, Workers: 2})
+	_, tsB := newTestServer(t, serve.Config{Quick: true, Workers: 2})
+
+	var warm serve.RunResponse
+	if resp := postJSON(t, tsA.URL+"/run", cgRun("xmem"), &warm); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm run status %d", resp.StatusCode)
+	}
+	if warm.Error != "" || warm.CacheHit {
+		t.Fatalf("warm run = %+v", warm.OutcomeJSON)
+	}
+
+	snapResp, err := http.Get(tsA.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(snapResp.Body)
+	snapResp.Body.Close()
+	if err != nil || snapResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /snapshot: status %d err %v", snapResp.StatusCode, err)
+	}
+
+	mergeResp, err := http.Post(tsB.URL+"/snapshot/merge", "application/json", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr serve.MergeResponse
+	if err := json.NewDecoder(mergeResp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	mergeResp.Body.Close()
+	if mergeResp.StatusCode != http.StatusOK || mr.Added < 1 {
+		t.Fatalf("merge: status %d %+v", mergeResp.StatusCode, mr)
+	}
+
+	var cold serve.RunResponse
+	if resp := postJSON(t, tsB.URL+"/run", cgRun("xmem"), &cold); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-merge run status %d", resp.StatusCode)
+	}
+	if !cold.CacheHit || cold.Error != "" {
+		t.Fatalf("post-merge run not a hit: %+v", cold.OutcomeJSON)
+	}
+	if cold.TimeNS != warm.TimeNS {
+		t.Fatalf("merged result diverges: %d vs %d", cold.TimeNS, warm.TimeNS)
+	}
+	st := getStats(t, tsB.URL)
+	if st.Cache.Misses != 0 {
+		t.Fatalf("cold node executed %d fresh runs, want 0", st.Cache.Misses)
+	}
+	if st.Merge == nil || st.Merge.Merges != 1 || st.Merge.TotalAdded != mr.Added || st.Merge.LastUnixNS == 0 {
+		t.Fatalf("/stats merge block = %+v", st.Merge)
+	}
+}
+
+// TestSnapshotMergeRejects: version-mismatched and corrupt payloads are
+// 400s that leave the local cache untouched.
+func TestSnapshotMergeRejects(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Quick: true})
+
+	var seedRun serve.RunResponse
+	if resp := postJSON(t, ts.URL+"/run", cgRun("xmem"), &seedRun); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed run status %d", resp.StatusCode)
+	}
+	before := getStats(t, ts.URL).Cache
+
+	for _, tc := range []struct{ name, payload, wantErr string }{
+		{"version", `{"version":99,"entries":[]}`, "version"},
+		{"corrupt", `{"version":1,"entries":[{"key":`, "decoding"},
+		{"garbage", `not a snapshot`, "decoding"},
+	} {
+		resp, err := http.Post(ts.URL+"/snapshot/merge", "application/json", strings.NewReader(tc.payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if !strings.Contains(e.Error, tc.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, e.Error, tc.wantErr)
+		}
+	}
+	if after := getStats(t, ts.URL).Cache; !reflect.DeepEqual(before, after) {
+		t.Fatalf("rejected merges changed the cache: %+v -> %+v", before, after)
+	}
+	// The seeded entry still answers as a hit.
+	var again serve.RunResponse
+	postJSON(t, ts.URL+"/run", cgRun("xmem"), &again)
+	if !again.CacheHit {
+		t.Fatal("resident entry lost after rejected merges")
+	}
+}
+
+// TestMergeWhileServing races /run traffic against /snapshot/merge posts
+// through the full HTTP stack under -race.
+func TestMergeWhileServing(t *testing.T) {
+	_, warmTS := newTestServer(t, serve.Config{Quick: true, Workers: 2})
+	for seed := uint64(1); seed <= 4; seed++ {
+		var rr serve.RunResponse
+		if resp := postJSON(t, warmTS.URL+"/run", seededRun("xmem", seed), &rr); resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm seed %d: status %d", seed, resp.StatusCode)
+		}
+	}
+	snapResp, err := http.Get(warmTS.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := io.ReadAll(snapResp.Body)
+	snapResp.Body.Close()
+
+	_, ts := newTestServer(t, serve.Config{Quick: true, Workers: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seed := uint64(1); seed <= 4; seed++ {
+				data, _ := json.Marshal(seededRun("xmem", seed))
+				resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(data))
+				if err != nil {
+					panic(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("run status %d", resp.StatusCode))
+				}
+			}
+		}(w)
+	}
+	for m := 0; m < 3; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/snapshot/merge", "application/json", bytes.NewReader(snap))
+			if err != nil {
+				panic(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				panic(fmt.Sprintf("merge status %d", resp.StatusCode))
+			}
+		}()
+	}
+	wg.Wait()
+	st := getStats(t, ts.URL)
+	if st.Cache.Entries == 0 {
+		t.Fatal("no entries after racing merges and runs")
+	}
+}
+
+// TestReadyzLifecycle: /readyz is the readiness probe — 200 when
+// serving, 503 with a reason while draining — and /healthz stays a pure
+// liveness probe throughout.
+func TestReadyzLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Config{Quick: true})
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("fresh /readyz = %d %q", code, body)
+	}
+	srv.SetDraining(true)
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining /readyz = %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("draining /healthz = %d, liveness must be unaffected", code)
+	}
+	srv.SetDraining(false)
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("undrained /readyz = %d", code)
+	}
+}
+
+// TestForwardedRequestIsTerminal: a request carrying the forward marker
+// executes where it lands even when the ring says another node owns it —
+// the loop-prevention property.
+func TestForwardedRequestIsTerminal(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	nodes := newClusterNodes(t, 1, serve.Config{Quick: true, Workers: 2}, deadURL)
+	a := nodes[0]
+
+	// Find a seed owned by the dead peer, then send it pre-marked: it must
+	// execute locally without even trying the (dead) owner.
+	for seed := uint64(1); seed <= 64; seed++ {
+		data, _ := json.Marshal(seededRun("xmem", seed))
+		req, _ := http.NewRequest(http.MethodPost, a.ts.URL+"/run", bytes.NewReader(data))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Unimem-Forwarded", "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr serve.RunResponse
+		json.NewDecoder(resp.Body).Decode(&rr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || rr.Error != "" {
+			t.Fatalf("forward-marked seed %d: status %d error %q", seed, resp.StatusCode, rr.Error)
+		}
+	}
+	// No fallbacks were recorded: the marked requests never consulted the
+	// ring, so the dead peer was never an owner to fall back from.
+	st := getStats(t, a.ts.URL)
+	if st.Cluster.Peers[0].Fallbacks != 0 || st.Cluster.Peers[0].Errors != 0 {
+		t.Fatalf("forward-marked requests touched the dead peer: %+v", st.Cluster.Peers[0])
+	}
+}

@@ -17,6 +17,17 @@
 //	GET  /debug/runs ring buffer of the last N run summaries (request ID,
 //	              timing, cache attribution, regret) for post-hoc joins
 //	GET  /healthz liveness probe (echoes the build version)
+//	GET  /readyz  readiness probe: 503 while a snapshot is merging or the
+//	              daemon is draining on SIGTERM, 200 otherwise
+//	GET  /snapshot         the run cache as a versioned snapshot document
+//	POST /snapshot/merge   merge a peer's snapshot document into the live
+//	              cache (newer completed run wins; in-flight never merged)
+//
+// With a cluster installed (SetCluster; -self/-peers on the daemon), /run
+// requests whose route key hashes to another peer are forwarded there and
+// proxied back; an unreachable or circuit-broken owner degrades to local
+// execution, so a partitioned cluster answers everything — just with
+// worse cache locality. The responding node is named in X-Unimem-Node.
 //
 // Every request carries an X-Request-Id (also attached to error bodies
 // and log lines); POST /run?trace=1 additionally returns the run's span
@@ -45,6 +56,7 @@ import (
 	"time"
 
 	"unimem"
+	"unimem/internal/cluster"
 	"unimem/internal/exp"
 	"unimem/internal/lru"
 )
@@ -125,6 +137,23 @@ type Server struct {
 	// debug is the /debug/runs ring (nil when metrics are disabled — the
 	// audit trail honors -no-metrics exactly like /metrics does).
 	debug *debugRuns
+	// cluster, when installed via SetCluster, routes /run requests to
+	// their ring owner (nil: single-node, everything local).
+	cluster *cluster.Cluster
+	// draining flips on SIGTERM (SetDraining): /readyz answers 503 so load
+	// balancers stop sending while in-flight requests finish.
+	draining atomic.Bool
+	// readyMu guards the readiness blockers and the snapshot/merge
+	// bookkeeping below (cluster.go).
+	readyMu       sync.Mutex
+	readyBlockers map[string]int
+	lastSave      time.Time
+	lastSaveCount int
+	lastMerge     time.Time
+	lastMergeSt   exp.MergeStats
+	mergeCount    int
+	mergeAdded    int
+	mergeReplaced int
 
 	mu       sync.Mutex
 	sessions *lru.Table[string, *poolEntry]
@@ -165,10 +194,11 @@ func New(cfg Config) (*Server, error) {
 		poolSize = maxPoolSessions
 	}
 	s := &Server{
-		cfg:      cfg,
-		cache:    cache,
-		started:  time.Now(),
-		sessions: lru.New[string, *poolEntry](poolSize),
+		cfg:           cfg,
+		cache:         cache,
+		started:       time.Now(),
+		sessions:      lru.New[string, *poolEntry](poolSize),
+		readyBlockers: map[string]int{},
 	}
 	s.metrics = newServerMetrics(s, cfg.DisableMetrics)
 	if cfg.CacheDir != "" {
@@ -186,6 +216,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /fleet", s.instrument("/fleet", s.gauged(s.handleFleet)))
 	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /snapshot", s.instrument("/snapshot", s.handleSnapshot))
+	mux.HandleFunc("POST /snapshot/merge", s.instrument("/snapshot/merge", s.handleSnapshotMerge))
 	if s.metrics.reg != nil {
 		s.debug = newDebugRuns(cfg.DebugRunHistory)
 		mux.Handle("GET /metrics", s.metrics.reg.Handler())
@@ -240,7 +273,14 @@ func (s *Server) SaveCache() (int, error) {
 	if s.cfg.CacheDir == "" {
 		return 0, nil
 	}
-	return s.cache.SaveSnapshot(s.SnapshotPath())
+	n, err := s.cache.SaveSnapshot(s.SnapshotPath())
+	if err == nil {
+		s.readyMu.Lock()
+		s.lastSave = time.Now()
+		s.lastSaveCount = n
+		s.readyMu.Unlock()
+	}
+	return n, err
 }
 
 // Close persists the cache (when persistence is configured). The server
@@ -319,7 +359,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 // semantics.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
-	if !decodeJSON(w, r, &req) {
+	// The raw body is retained so a cluster forward can replay it to the
+	// owning peer byte-for-byte.
+	body, ok := readDecodeJSON(w, r, &req)
+	if !ok {
 		return
 	}
 	m, err := req.Platform.resolve()
@@ -330,6 +373,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	job, err := req.JobReq.job()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.forwardToOwner(w, r, m, job, body) {
 		return
 	}
 	st := stateOf(r)
@@ -619,6 +665,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Version:       exp.SnapshotVersion,
 		}
 	}
+	s.statsCluster(&resp)
 	// One consistent snapshot: the in-flight gauge and the session list
 	// are read under the same critical section, so a scrape racing a
 	// draining batch sees either (inflight>0, pre-eviction pool) or
