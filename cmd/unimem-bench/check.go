@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"unimem/internal/exp"
 	"unimem/internal/mpisim/simprog"
 	"unimem/internal/serve"
 )
@@ -38,6 +39,13 @@ const checkTolerance = 0.5
 // -bench serve -check, slightly above the documented ≤2% target to
 // absorb measurement noise around the budget line.
 const maxServeOverheadPct = 2.5
+
+// minFastpathSpeedup is the absolute wall-clock floor for -bench
+// fastpath -check: every cell's exact-vs-fast ratio is same-process and
+// same-machine, so (like the mpisim speedup ratio) it is hardware
+// independent. Long stationary runs sit far above this floor; dropping
+// below it means the fast path stopped engaging or stopped skipping.
+const minFastpathSpeedup = 10.0
 
 // loadBaseline decodes the committed baseline document at path into dst.
 func loadBaseline(path string, dst interface{}) error {
@@ -157,6 +165,28 @@ func checkServe(cur *serve.BenchDoc) []string {
 	return bad
 }
 
+// checkFastpath gates a fresh fastpath run against the absolute speedup
+// floor and the differential verdicts (a fast-but-wrong fast path must
+// fail here, not just in the test suite).
+func checkFastpath(cur *exp.FastpathBenchDoc) []string {
+	var bad []string
+	for _, c := range cur.Cells {
+		if !c.Identical {
+			bad = append(bad, fmt.Sprintf(
+				"fastpath %s: exact and fast-path results diverge", c.Name))
+		}
+		if c.Speedup < minFastpathSpeedup {
+			bad = append(bad, fmt.Sprintf(
+				"fastpath %s: %.1fx speedup below the %.0fx floor (analytic fraction %.0f%%)",
+				c.Name, c.Speedup, minFastpathSpeedup, 100*c.AnalyticFrac))
+		}
+	}
+	if len(cur.Cells) == 0 {
+		bad = append(bad, "fastpath: no benchmark cells in the fresh run")
+	}
+	return bad
+}
+
 // runCheck loads the committed baseline for mode and compares the fresh
 // document against it, reporting verdicts to stderr. Returns the exit
 // code (0 pass, 1 regression).
@@ -174,6 +204,10 @@ func runCheck(mode string, doc interface{}, baselinePath string) int {
 		// The serve gate is an absolute budget; the baseline file is not
 		// consulted (its overhead figure is noise around zero).
 		bad = checkServe(doc.(*serve.BenchDoc))
+	case "fastpath":
+		// Like serve, an absolute gate: the speedup ratio cancels the
+		// machine out, so no baseline comparison is needed.
+		bad = checkFastpath(doc.(*exp.FastpathBenchDoc))
 	}
 	if len(bad) > 0 {
 		for _, msg := range bad {
@@ -181,9 +215,12 @@ func runCheck(mode string, doc interface{}, baselinePath string) int {
 		}
 		return 1
 	}
-	if mode == "serve" {
+	switch mode {
+	case "serve":
 		fmt.Fprintf(os.Stderr, "-check PASS: serve overhead within the %.1f%% budget\n", maxServeOverheadPct)
-	} else {
+	case "fastpath":
+		fmt.Fprintf(os.Stderr, "-check PASS: fastpath speedup above the %.0fx floor on every cell\n", minFastpathSpeedup)
+	default:
 		fmt.Fprintf(os.Stderr, "-check PASS: %s within tolerance of %s\n", mode, baselinePath)
 	}
 	return 0

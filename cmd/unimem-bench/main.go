@@ -18,6 +18,7 @@
 //	unimem-bench -exp all -parallel -timeout 10m
 //	unimem-bench -bench mpisim -quick -bench-out BENCH_mpisim.json
 //	unimem-bench -bench serve -quick -bench-out BENCH_serve.json
+//	unimem-bench -bench fastpath -quick -check
 //
 // -timeout bounds the whole run: on expiry, in-flight simulated worlds
 // abort, the partial cache statistics are printed to stderr, and the
@@ -35,6 +36,12 @@
 // overhead: matched cache-hit request storms against a metrics-disabled
 // and a metrics-enabled server, reported as a relative slowdown — the
 // ≤2% budget artifact (BENCH_serve.json).
+//
+// -bench fastpath measures the analytic fast path's wall-clock speedup
+// over exact event-driven simulation on long stationary runs, while
+// differentially verifying the two produce identical results — the
+// BENCH_fastpath.json artifact. -check gates the worst cell against an
+// absolute speedup floor and fails on any result divergence.
 package main
 
 import (
@@ -134,8 +141,24 @@ func runBenchMode(mode string, quick bool, out string, check bool, baseline stri
 			return runCheck(mode, doc, baseline)
 		}
 		return 0
+	case "fastpath":
+		doc, err := exp.RunFastpathBench(quick, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := writeBenchDoc(doc, out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "fastpath bench done in %v; worst-cell speedup %.1fx\n",
+			time.Since(start).Round(time.Millisecond), doc.MinSpeedup)
+		if check {
+			return runCheck(mode, doc, baseline)
+		}
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -bench mode %q (want mpisim or serve)\n", mode)
+		fmt.Fprintf(os.Stderr, "unknown -bench mode %q (want mpisim, serve or fastpath)\n", mode)
 		return 2
 	}
 }
@@ -154,7 +177,7 @@ func main() {
 		jsonOut   = flag.String("json", "", "write results as JSON to this file ('-' for stdout, suppressing tables)")
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0: no limit)")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
-		bench     = flag.String("bench", "", "benchmark mode instead of experiments: 'mpisim' (engine) or 'serve' (HTTP observability overhead)")
+		bench     = flag.String("bench", "", "benchmark mode instead of experiments: 'mpisim' (engine), 'serve' (HTTP observability overhead) or 'fastpath' (analytic fast-path speedup)")
 		benchOut  = flag.String("bench-out", "", "benchmark JSON destination for -bench (default BENCH_<mode>.json)")
 		check     = flag.Bool("check", false, "with -bench: gate the fresh run against the committed baseline and exit 1 on regression")
 		checkBase = flag.String("check-baseline", "", "baseline JSON for -check (default BENCH_<mode>.json)")
@@ -162,7 +185,7 @@ func main() {
 	flag.Parse()
 
 	if *check && *bench == "" {
-		fmt.Fprintln(os.Stderr, "-check requires -bench mpisim or -bench serve")
+		fmt.Fprintln(os.Stderr, "-check requires -bench mpisim, serve or fastpath")
 		os.Exit(2)
 	}
 	if *bench != "" {

@@ -150,10 +150,10 @@ func main() {
 	if *traceOut != "" {
 		tr = unimem.NewTrace()
 	}
-	var ex *unimem.Explain
-	if *explain {
-		ex = unimem.NewExplain()
-	}
+	// The attribution recorder is always attached (it never changes
+	// results): the fast-forward timeline below reads its episode records,
+	// and -explain prints the full report.
+	ex := unimem.NewExplain()
 	uniOut, err := sess.RunJob(ctx, unimem.Job{
 		Workload: w,
 		Strategy: unimem.Unimem(),
@@ -186,6 +186,17 @@ func main() {
 			rr.OverheadNS/float64(rr.TimeNS)*100)
 		if len(rt.ReprofileIters) > 0 {
 			fmt.Printf(" reprofiled@%v", rt.ReprofileIters)
+		}
+		fmt.Println()
+	}
+
+	// Fast-path timeline: skips are unanimous across ranks, so one line
+	// describes the whole world.
+	if fp := uniOut.FastPath; fp.SimulatedIters+fp.AnalyticIters > 0 {
+		fmt.Printf("fastpath: %d iterations simulated, %d analytic  memo %d hits / %d misses",
+			fp.SimulatedIters, fp.AnalyticIters, fp.MemoHits, fp.MemoMisses)
+		for _, ff := range uniOut.Explain.FastForwards {
+			fmt.Printf("  ff@[%d-%d]", ff.EntryIter, ff.ExitIter)
 		}
 		fmt.Println()
 	}
@@ -247,8 +258,8 @@ func main() {
 			w.Phases[i].Name, d/1e6, w.Phases[i].Kind)
 	}
 
-	if doc := uniOut.Explain; doc != nil {
-		printExplain(doc)
+	if *explain {
+		printExplain(uniOut.Explain)
 	}
 }
 
@@ -320,6 +331,13 @@ func printExplain(doc *unimem.ExplainDoc) {
 		for _, rp := range doc.Reprofiles {
 			fmt.Printf("  iter %d phase %-16s variation %.1f%% > %.0f%% threshold\n",
 				rp.Iter, rp.Phase, rp.Variation*100, rp.Threshold*100)
+		}
+	}
+	if len(doc.FastForwards) > 0 {
+		fmt.Println("\nfast-forwards:")
+		for _, ff := range doc.FastForwards {
+			fmt.Printf("  iter %d-%d: %d iterations computed analytically (+%.2fms virtual)\n",
+				ff.EntryIter, ff.ExitIter, ff.Iters, float64(ff.ClockDeltaNS)/1e6)
 		}
 	}
 	if rg := doc.Regret; rg != nil {

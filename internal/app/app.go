@@ -87,6 +87,17 @@ type Options struct {
 	// baseline. Like Trace it never changes simulated time or results and
 	// is excluded from run-cache keys.
 	Explain *obs.Explain
+	// ExactSim disables the analytic fast path: every iteration is
+	// simulated event by event even through provably stable windows.
+	// Results are byte-identical either way (the fast path only skips
+	// windows it can extrapolate exactly), so like Trace/Explain this is
+	// excluded from run-cache keys; it exists for differential testing
+	// and benchmarking.
+	ExactSim bool
+	// FastPath, when non-nil, receives the run's fast-path statistics
+	// (memo hits, simulated vs analytically skipped iterations). Never
+	// affects results; excluded from run-cache keys.
+	FastPath *FastPathStats
 }
 
 func (o *Options) fill(w *workloads.Workload) {
@@ -250,8 +261,21 @@ func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts
 			}
 		}()
 		mgr.LoopStart(rc)
-		for iter := 0; iter < w.Iterations; iter++ {
+		// The fast-path tracker is nil when the run opts out or the manager
+		// is not a FastPather — both rank-independent, so either every rank
+		// polls at each eligible iteration start or none does.
+		fp := newFastPath(rc, mgr, &opts, res.PhaseNS, phaseCount)
+		for iter := 0; iter < w.Iterations; {
+			if fp != nil && iter >= fastPathMinIter {
+				if n := fp.trySkip(c, iter); n > 0 {
+					iter += n
+					continue
+				}
+			}
 			iterStart := c.Clock()
+			if fp != nil {
+				fp.beginIter(c)
+			}
 			for pi := range w.Phases {
 				// Ranks may notice the abort at different phases (the
 				// phase-boundary check here) or mid-operation (the
@@ -282,6 +306,9 @@ func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts
 					phaseCount[pi]++
 				}
 				mgr.PhaseEnd(rc, dur, traffic)
+				if fp != nil {
+					fp.observePhase(pi, ph, iter, dur, traffic)
+				}
 				if rc.Trace != nil {
 					// The span covers PhaseBegin through PhaseEnd, so
 					// manager-charged stalls and profiling overhead show
@@ -290,12 +317,19 @@ func RunCtx(ctx context.Context, w *workloads.Workload, m *machine.Machine, opts
 						map[string]any{"iter": iter, "kind": ph.Kind.String(), "comm": ph.Comm.String()})
 				}
 			}
+			if fp != nil {
+				fp.endIter(c)
+			}
 			if rc.Trace != nil {
 				rc.Trace.Span(obs.Virtual, rank, fmt.Sprintf("iteration %d", iter), "iteration",
 					iterStart, c.Clock(), nil)
 			}
+			iter++
 		}
 		endLoop()
+		if fp != nil {
+			fp.flush(opts.FastPath)
+		}
 		res.Ranks[rank] = RankResult{
 			Rank:       rank,
 			TimeNS:     c.Clock(),

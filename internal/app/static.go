@@ -88,6 +88,15 @@ func (s *Static) LoopEnd(*RankCtx) {}
 // RuntimeOverheadNS implements Manager: a static policy costs nothing.
 func (s *Static) RuntimeOverheadNS(int) float64 { return 0 }
 
+// SteadyState implements FastPather: a static placement never changes,
+// so the manager is quiescent from the first iteration. (Recorder
+// inherits this safely: it only records iteration 0, and fast-forward
+// cannot engage before the stability window has elapsed.)
+func (s *Static) SteadyState() bool { return true }
+
+// FastForward implements FastPather: no per-iteration bookkeeping.
+func (s *Static) FastForward(int) {}
+
 // RecordedPhase is the exact (unsampled) traffic of one phase execution,
 // as an offline whole-program instrumentation pass like X-Mem's PIN tool
 // would capture it.

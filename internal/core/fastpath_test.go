@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"unimem/internal/mover"
+	"unimem/internal/phase"
+	"unimem/internal/placement"
+)
+
+// steadyRuntime builds the minimal runtime state SteadyState certifies:
+// a sealed registry past the decision settle window, an adopted plan with
+// no recurring schedule, no deferred one-shot moves, an idle mover, and a
+// decision baseline on every compute phase.
+func steadyRuntime() *Runtime {
+	r := NewRuntime(0, DefaultConfig())
+	reg := phase.NewRegistry()
+	for i := 0; i < 5; i++ {
+		reg.Begin("sweep", phase.Compute, "")
+		reg.End(100)
+		reg.Begin("reduce", phase.Comm, "allreduce")
+		reg.End(10)
+	}
+	reg.Phases()[0].DecisionNS = 100
+	r.reg = reg
+	r.mov = mover.New(nil)
+	r.plan = &placement.Plan{Strategy: "cross-phase-global"}
+	r.decisionIter = 1
+	return r
+}
+
+// TestSteadyStateGates exercises every entry condition of the fast path's
+// manager vote: the baseline state is steady, and each disqualifying
+// condition — profiling, a scheduled re-profile, no plan, deferred
+// adoption moves, pending mover dependences, a recurring migration
+// schedule, a busy mover queue, an unsettled decision, or a compute phase
+// without a decision baseline — must individually block it.
+func TestSteadyStateGates(t *testing.T) {
+	if !steadyRuntime().SteadyState() {
+		t.Fatal("baseline runtime not steady")
+	}
+	cases := []struct {
+		name string
+		mut  func(*Runtime)
+	}{
+		{"profiling", func(r *Runtime) { r.profiling = true }},
+		{"reprofile scheduled", func(r *Runtime) { r.reprofileNext = true }},
+		{"no plan", func(r *Runtime) { r.plan = nil }},
+		{"one-shot moves deferred", func(r *Runtime) { r.oneShot[0] = []placement.Move{{}} }},
+		{"tiered one-shot deferred", func(r *Runtime) { r.oneShotTiered[0] = []tieredMove{{}} }},
+		{"pending mover dependence", func(r *Runtime) { r.pendingSeq[0] = 1 }},
+		{"recurring schedule", func(r *Runtime) { r.plan.Schedule = []placement.Move{{}} }},
+		{"mover queue busy", func(r *Runtime) { r.mov.Enqueue(nil, 0, 0) }},
+		{"decision unsettled", func(r *Runtime) { r.decisionIter = r.reg.Iter() - 1 }},
+		{"no decision baseline", func(r *Runtime) { r.reg.Phases()[0].DecisionNS = 0 }},
+	}
+	for _, tc := range cases {
+		r := steadyRuntime()
+		tc.mut(r)
+		if r.SteadyState() {
+			t.Errorf("%s: SteadyState still true", tc.name)
+		}
+	}
+}
+
+// TestRuntimeFastForward checks the bookkeeping replay: skipping n
+// iterations advances the registry's iteration counter and charges the
+// per-phase sync-check overhead the simulated path would have, while the
+// adaptation history (decision count, re-profile timeline, decision
+// baselines) stays untouched.
+func TestRuntimeFastForward(t *testing.T) {
+	r := steadyRuntime()
+	iter0, over0 := r.reg.Iter(), r.overheadNS
+	r.FastForward(7)
+	if got := r.reg.Iter(); got != iter0+7 {
+		t.Errorf("iter = %d, want %d", got, iter0+7)
+	}
+	want := over0 + 7*float64(len(r.reg.Phases()))*mover.SyncCheckNS
+	if r.overheadNS != want {
+		t.Errorf("overheadNS = %v, want %v", r.overheadNS, want)
+	}
+	if r.Decisions != 0 || len(r.ReprofileIters) != 0 {
+		t.Errorf("fast-forward touched the adaptation history: decisions=%d reprofiles=%v",
+			r.Decisions, r.ReprofileIters)
+	}
+	if r.reg.Phases()[0].DecisionNS != 100 {
+		t.Error("fast-forward touched a decision baseline")
+	}
+}

@@ -944,6 +944,59 @@ func (r *Runtime) references(chunk string, phaseID int) bool {
 	return false
 }
 
+// SteadyState implements app.FastPather: the runtime certifies a
+// quiescent fixed point — a decision is in force, profiling is off and
+// no re-profile is scheduled, no adoption or dependence-tracked moves
+// are outstanding, the plan carries no recurring migration schedule, the
+// helper thread is idle, the variation monitor's post-decision settling
+// window has elapsed, and every computation phase has a baseline. Under
+// these conditions an iteration that repeats the previous one charges
+// exactly the same costs, so the harness may extrapolate it.
+func (r *Runtime) SteadyState() bool {
+	if r.profiling || r.reprofileNext {
+		return false
+	}
+	if r.plan == nil && r.tierPlan == nil {
+		return false
+	}
+	if len(r.oneShot) > 0 || len(r.oneShotTiered) > 0 || len(r.pendingSeq) > 0 {
+		return false
+	}
+	if r.plan != nil && len(r.plan.Schedule) > 0 {
+		return false
+	}
+	if !r.mov.Idle() {
+		return false
+	}
+	if r.reg.Iter() <= r.decisionIter+1 {
+		return false
+	}
+	for _, p := range r.reg.Phases() {
+		if p.Kind == phase.Compute && p.DecisionNS == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FastForward implements app.FastPather: replay the bookkeeping of n
+// skipped steady-state iterations. The iteration counter advances (so
+// the variation monitor's settling arithmetic and the decision audit
+// keep real iteration numbers), and the per-phase queue-status check
+// PhaseBegin charges once a plan is enforced is accumulated with the
+// same sequence of float additions the simulated path would have made.
+// Decision state — plan, baselines, DecisionNS, ReprofileIters — is
+// untouched: a skipped window is by construction one the monitor would
+// have stayed quiet through.
+func (r *Runtime) FastForward(n int) {
+	r.reg.FastForward(n)
+	for i := 0; i < n; i++ {
+		for range r.reg.Phases() {
+			r.overheadNS += mover.SyncCheckNS
+		}
+	}
+}
+
 // LoopEnd implements app.Manager: unimem_end — stop the helper thread.
 func (r *Runtime) LoopEnd(ctx *app.RankCtx) {
 	r.mov.Stop()

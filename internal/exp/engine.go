@@ -165,6 +165,11 @@ type ExecInfo struct {
 	// in-flight) cache entry rather than a fresh execution. Always false
 	// for the Unimem strategy, which never caches.
 	CacheHit bool
+	// FastPath reports the analytic fast path's memo and fast-forward
+	// counters for this execution. All zeros when the run was served from
+	// the cache (nothing executed), the strategy's manager cannot
+	// fast-forward, or the run opted out via Options.ExactSim.
+	FastPath app.FastPathStats
 }
 
 // ExecuteInfo is Execute returning ExecInfo. When opts.Trace is set, the
@@ -183,6 +188,11 @@ func (e *Engine) ExecuteInfo(ctx context.Context, w *workloads.Workload, m *mach
 	w = prepQuick(w, quick)
 	m = st.targetMachine(m)
 	tr := opts.Trace
+	// Collect fast-path counters into the caller-visible info unless the
+	// caller brought its own sink. Cache-inert: keyFor never reads it.
+	if opts.FastPath == nil {
+		opts.FastPath = &info.FastPath
+	}
 
 	if st.IsUnimem() {
 		if cfg.Calibration == (model.Calibration{}) {

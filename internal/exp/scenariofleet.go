@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 
 	"unimem/internal/machine"
@@ -106,6 +107,9 @@ func (s *Suite) ScenarioFleet() (*Table, error) {
 		Columns: []string{"Archetype", "Scenario", "Platform", "Static", "X-Mem",
 			"Unimem", "Speedup vs static", "Migrations", "Decisions"},
 	}
+	// regret_frac rides along in the CSV output only (the JSON FleetStats
+	// always carried it; the rendered table stays pinned by goldens).
+	t.CSVExtraColumns("regret_frac")
 	platforms := fleetPlatforms()
 	archetypes := scenario.Archetypes()
 
@@ -194,6 +198,7 @@ func (s *Suite) ScenarioFleet() (*Table, error) {
 			float64(st.UnimemNS)/fastNS,
 			st.SpeedupVsStatic,
 			st.Migrations, st.Decisions)
+		t.AddCSVExtra(strconv.FormatFloat(st.RegretFrac, 'g', -1, 64))
 		perArch[st.Archetype] = append(perArch[st.Archetype], st)
 	}
 	t.FleetStats = stats
@@ -205,6 +210,7 @@ func (s *Suite) ScenarioFleet() (*Table, error) {
 		t.AddRow(agg.Archetype, "aggregate", fmt.Sprintf("n=%d", agg.N), "", "", "",
 			fmt.Sprintf("geo=%.3f min=%.3f max=%.3f", agg.Geomean, agg.Min, agg.Max),
 			fmt.Sprintf("wins=%d losses=%d ties=%d", agg.Wins, agg.Losses, agg.Ties), "")
+		t.AddCSVExtra(strconv.FormatFloat(agg.MeanRegretFrac, 'g', -1, 64))
 		if agg.Losses > 0 {
 			tails = append(tails, fmt.Sprintf("%s: worst %s (%.3fx)",
 				agg.Archetype, agg.Worst, agg.WorstSpeedup))

@@ -1,6 +1,9 @@
 package exp
 
 import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -157,5 +160,65 @@ func TestScenarioFleetRendersAggregates(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered fleet table missing %q", want)
 		}
+	}
+}
+
+// TestScenarioFleetCSVRegretParity pins the CSV side channel: the CSV
+// output must carry a regret_frac column whose per-scenario values equal
+// the JSON FleetStats' RegretFrac and whose aggregate rows equal the
+// aggregates' MeanRegretFrac — while the rendered table keeps its pinned
+// column set.
+func TestScenarioFleetCSVRegretParity(t *testing.T) {
+	tbl, err := fleetSuite().ScenarioFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rec[0]
+	col := -1
+	for i, h := range header {
+		if h == "regret_frac" {
+			col = i
+		}
+	}
+	if col != len(header)-1 {
+		t.Fatalf("regret_frac must be the last CSV column, header = %v", header)
+	}
+	rows := rec[1:]
+	if len(rows) != len(tbl.Rows) {
+		t.Fatalf("CSV has %d rows, table %d", len(rows), len(tbl.Rows))
+	}
+	// Per-scenario rows come first, in FleetStats order; aggregates follow.
+	for i, st := range tbl.FleetStats {
+		got, err := strconv.ParseFloat(rows[i][col], 64)
+		if err != nil {
+			t.Fatalf("row %d regret_frac %q: %v", i, rows[i][col], err)
+		}
+		if got != st.RegretFrac {
+			t.Errorf("row %d: CSV regret %v != JSON %v", i, got, st.RegretFrac)
+		}
+	}
+	for j, agg := range tbl.FleetAggregates {
+		row := rows[len(tbl.FleetStats)+j]
+		got, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("aggregate %s regret %q: %v", agg.Archetype, row[col], err)
+		}
+		if got != agg.MeanRegretFrac {
+			t.Errorf("aggregate %s: CSV mean regret %v != JSON %v", agg.Archetype, got, agg.MeanRegretFrac)
+		}
+	}
+	// The rendered table must not have grown the CSV-only column.
+	var sb strings.Builder
+	tbl.Render(&sb)
+	if strings.Contains(sb.String(), "regret_frac") {
+		t.Error("rendered table leaked the CSV-only regret_frac column")
 	}
 }

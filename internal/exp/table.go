@@ -53,6 +53,13 @@ type Table struct {
 	// carry the same data as rows).
 	FleetStats      []FleetStat      `json:"fleet_stats,omitempty"`
 	FleetAggregates []FleetAggregate `json:"fleet_aggregates,omitempty"`
+
+	// csvExtraCols/csvExtras are machine-readable columns appended only by
+	// WriteCSV: the rendered table (whose stdout is pinned by goldens) and
+	// the JSON encoding never see them. csvExtras is aligned with Rows;
+	// rows without extras emit empty cells.
+	csvExtraCols []string
+	csvExtras    [][]string
 }
 
 // TierStat is one tier's residency and migration record for one
@@ -127,14 +134,42 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// WriteCSV emits the table as CSV (columns first).
+// CSVExtraColumns declares columns WriteCSV appends after the printed
+// ones. Attach each row's values with AddCSVExtra.
+func (t *Table) CSVExtraColumns(names ...string) {
+	t.csvExtraCols = names
+}
+
+// AddCSVExtra attaches CSV-only cells to the most recently added row.
+func (t *Table) AddCSVExtra(cells ...string) {
+	for len(t.csvExtras) < len(t.Rows)-1 {
+		t.csvExtras = append(t.csvExtras, nil)
+	}
+	t.csvExtras = append(t.csvExtras, cells)
+}
+
+// WriteCSV emits the table as CSV (columns first), with any declared
+// CSV-only extra columns appended to the header and every row.
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(append([]string{}, t.Columns...)); err != nil {
+	header := append(append([]string{}, t.Columns...), t.csvExtraCols...)
+	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, r := range t.Rows {
-		if err := cw.Write(r); err != nil {
+	for i, r := range t.Rows {
+		row := append([]string{}, r...)
+		var extra []string
+		if i < len(t.csvExtras) {
+			extra = t.csvExtras[i]
+		}
+		for j := range t.csvExtraCols {
+			if j < len(extra) {
+				row = append(row, extra[j])
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}

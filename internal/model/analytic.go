@@ -1,0 +1,66 @@
+package model
+
+import "unimem/internal/machine"
+
+// This file is the analytic fast path's model half: a closed-form replay
+// of what the execution harness charges a rank for one phase, computable
+// from (refs x placement x machine) alone — no mpisim world, no heap, no
+// sampled counters. The harness prices a phase as the summed per-chunk
+// memory service time (Eq. 1's timing terms through Machine.MemTimeNS)
+// plus the compute time for the phase's flops, each truncated to whole
+// virtual nanoseconds when charged to the clock; AnalyticPhase reproduces
+// those terms exactly, which is what the fast-path differential tests
+// pin skipped windows against.
+
+// ChunkAccess is one chunk's share of a phase's traffic priced against
+// the tier it resides in — the placement-expanded image of one phase
+// reference.
+type ChunkAccess struct {
+	Tier     machine.TierKind
+	Accesses int64
+	Pattern  machine.Pattern
+	ReadFrac float64
+}
+
+// AnalyticOutcome is the closed-form cost of one phase execution on one
+// rank under a frozen placement.
+type AnalyticOutcome struct {
+	// MemNS is the summed memory service time across chunks (float, as
+	// the harness accumulates it before charging the clock).
+	MemNS float64
+	// ComputeNS is the compute term for the phase's (rank-scaled) flops.
+	ComputeNS float64
+	// ClockNS is the whole-nanosecond clock advance the harness would
+	// charge for the two terms: int64(MemNS) + int64(ComputeNS), with
+	// each term truncated separately exactly as the simulated path does.
+	ClockNS int64
+}
+
+// AnalyticPhase replays Eq. 1-4's machine timing terms for one phase:
+// every chunk's service time on its current tier plus the compute time,
+// without constructing a simulated world. Communication time is not
+// modeled here — it depends on peer clocks, which is precisely what the
+// fast path's lockstep delta extrapolation covers instead.
+func AnalyticPhase(m *machine.Machine, chunks []ChunkAccess, flops float64) AnalyticOutcome {
+	var out AnalyticOutcome
+	for _, c := range chunks {
+		if c.Accesses <= 0 {
+			continue
+		}
+		out.MemNS += m.MemTimeNS(c.Tier, c.Accesses, c.Pattern, c.ReadFrac)
+	}
+	out.ComputeNS = m.ComputeTimeNS(flops)
+	out.ClockNS = int64(out.MemNS) + int64(out.ComputeNS)
+	return out
+}
+
+// SplitAccesses distributes an object's per-phase access count across a
+// chunk proportionally to the chunk's share of the object — the paper's
+// uniform-within-object assumption, byte-identical to the harness's
+// traffic expansion (single-chunk objects take the full count).
+func SplitAccesses(total, chunkSize, objectSize int64, nChunks int) int64 {
+	if nChunks <= 1 {
+		return total
+	}
+	return int64(float64(total) * float64(chunkSize) / float64(objectSize))
+}

@@ -1,0 +1,64 @@
+package model
+
+import (
+	"testing"
+
+	"unimem/internal/machine"
+)
+
+// TestAnalyticPhaseReplaysMachineTerms: the closed-form phase cost must
+// equal the machine's timing terms summed the way the harness sums them,
+// with each clock charge truncated separately.
+func TestAnalyticPhaseReplaysMachineTerms(t *testing.T) {
+	m := machine.PlatformA().WithNVMLatencyFactor(4)
+	chunks := []ChunkAccess{
+		{Tier: machine.DRAM, Accesses: 1e6, Pattern: machine.Stream, ReadFrac: 0.7},
+		{Tier: machine.NVM, Accesses: 3e5, Pattern: machine.PointerChase, ReadFrac: 1},
+		{Tier: machine.NVM, Accesses: 0, Pattern: machine.Stream, ReadFrac: 0.5}, // skipped
+	}
+	const flops = 10e6
+	out := AnalyticPhase(m, chunks, flops)
+
+	wantMem := m.MemTimeNS(machine.DRAM, 1e6, machine.Stream, 0.7) +
+		m.MemTimeNS(machine.NVM, 3e5, machine.PointerChase, 1)
+	if out.MemNS != wantMem {
+		t.Errorf("MemNS = %v, want %v", out.MemNS, wantMem)
+	}
+	if want := m.ComputeTimeNS(flops); out.ComputeNS != want {
+		t.Errorf("ComputeNS = %v, want %v", out.ComputeNS, want)
+	}
+	if want := int64(wantMem) + int64(m.ComputeTimeNS(flops)); out.ClockNS != want {
+		t.Errorf("ClockNS = %d, want %d (terms truncated separately)", out.ClockNS, want)
+	}
+	if out.MemNS <= 0 || out.ComputeNS <= 0 {
+		t.Fatalf("degenerate outcome %+v", out)
+	}
+}
+
+// TestAnalyticPhaseTierSensitivity: the same traffic priced on NVM must
+// cost more than on DRAM — the signal every placement decision rests on.
+func TestAnalyticPhaseTierSensitivity(t *testing.T) {
+	m := machine.PlatformA().WithNVMLatencyFactor(4).WithNVMBandwidthFraction(0.5)
+	on := func(tier machine.TierKind) float64 {
+		return AnalyticPhase(m, []ChunkAccess{
+			{Tier: tier, Accesses: 1e6, Pattern: machine.PointerChase, ReadFrac: 1},
+		}, 0).MemNS
+	}
+	if on(machine.NVM) <= on(machine.DRAM) {
+		t.Fatalf("NVM %v not slower than DRAM %v", on(machine.NVM), on(machine.DRAM))
+	}
+}
+
+// TestSplitAccesses: single-chunk objects take the full count; split
+// objects share proportionally by bytes.
+func TestSplitAccesses(t *testing.T) {
+	if got := SplitAccesses(1000, 64, 256, 1); got != 1000 {
+		t.Errorf("unsplit object: %d, want 1000", got)
+	}
+	if got := SplitAccesses(1000, 64, 256, 4); got != 250 {
+		t.Errorf("quarter chunk: %d, want 250", got)
+	}
+	if got := SplitAccesses(1000, 128, 256, 2); got != 500 {
+		t.Errorf("half chunk: %d, want 500", got)
+	}
+}

@@ -275,6 +275,17 @@ func (m *Mover) Drain() {
 	m.mu.Unlock()
 }
 
+// Idle reports whether the helper thread has nothing in flight: every
+// ticket handed out has been applied to the heap and the FIFO is empty.
+// The analytic fast path requires an idle mover before fast-forwarding —
+// an in-flight migration's exposed cost would otherwise be extrapolated
+// into iterations that should have absorbed it once.
+func (m *Mover) Idle() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.doneSeq == m.nextSeq && len(m.pending) == 0
+}
+
 // Stats returns a snapshot of the mover's accounting.
 func (m *Mover) Stats() Stats {
 	m.mu.Lock()

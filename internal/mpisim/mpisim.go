@@ -228,6 +228,8 @@ type Comm struct {
 	got     message
 	// Collective rendezvous result (state == stBlockedColl).
 	collMax int64
+	// Poll rendezvous result (state == stBlockedColl, parked in a Poll).
+	pollRes bool
 }
 
 // Rank returns this endpoint's rank.
@@ -375,6 +377,25 @@ func (c *Comm) Reduce(bytes int64) {
 func (c *Comm) Alltoall(bytesPerPair int64) {
 	per := c.world.Mach.MsgTimeNS(bytesPerPair)
 	c.collective("Alltoall", float64(c.world.P-1)*per)
+}
+
+// Poll is a zero-cost unanimity vote: every rank calls it at the same
+// logical point, and it returns true on all ranks iff every rank passed
+// yes AND every rank passed an equal payload. Unlike the collectives it
+// charges no virtual time (clocks and CommNS are untouched) and does not
+// invoke the PMPI hook — it is pure control-plane agreement, the
+// primitive the analytic fast path uses to decide, in lockstep, whether
+// an iteration window may be skipped. Callers must guarantee every rank
+// reaches each Poll the same number of times (the decision to poll must
+// depend only on rank-independent state; per-rank conditions belong in
+// the vote), or the world deadlocks exactly as a mismatched collective
+// would.
+func (c *Comm) Poll(yes bool, payload int64) bool {
+	c.checkAbort()
+	if c.world.P == 1 {
+		return yes
+	}
+	return c.world.sched.poll(c, yes, payload)
 }
 
 // SendRecv performs a blocking exchange with the two peers: sends to dst and

@@ -1,0 +1,87 @@
+package mpisim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPollUnanimity: Poll returns true everywhere iff every rank voted
+// yes with an equal payload; any veto or payload mismatch fails the
+// vote on every rank symmetrically.
+func TestPollUnanimity(t *testing.T) {
+	cases := []struct {
+		name    string
+		yes     func(rank int) bool
+		payload func(rank int) int64
+		want    bool
+	}{
+		{"all yes equal payload", func(int) bool { return true }, func(int) int64 { return 7 }, true},
+		{"one veto", func(r int) bool { return r != 2 }, func(int) int64 { return 7 }, false},
+		{"payload mismatch", func(int) bool { return true }, func(r int) int64 { return int64(r) }, false},
+		{"veto with mismatched payload ignored", func(r int) bool { return r == 0 }, func(r int) int64 { return 9 }, false},
+	}
+	for _, tc := range cases {
+		var agree, disagree int32
+		world(4).Run(func(c *Comm) {
+			if c.Poll(tc.yes(c.Rank()), tc.payload(c.Rank())) {
+				atomic.AddInt32(&agree, 1)
+			} else {
+				atomic.AddInt32(&disagree, 1)
+			}
+		})
+		if tc.want && (agree != 4 || disagree != 0) {
+			t.Errorf("%s: %d/%d agree, want unanimous true", tc.name, agree, disagree)
+		}
+		if !tc.want && (agree != 0 || disagree != 4) {
+			t.Errorf("%s: %d/%d agree, want unanimous false", tc.name, agree, disagree)
+		}
+	}
+}
+
+// TestPollIsZeroCost: a Poll must not advance any clock, charge CommNS,
+// or fire the PMPI hook — it is pure control-plane agreement, invisible
+// to every timing observable.
+func TestPollIsZeroCost(t *testing.T) {
+	var hooked int32
+	w := world(3)
+	clocks := make([]int64, 3)
+	comms := make([]int64, 3)
+	w.Run(func(c *Comm) {
+		c.SetHook(HookFunc(func(int, string) { atomic.AddInt32(&hooked, 1) }))
+		c.Advance(int64(c.Rank()) * 1000) // skewed clocks survive the vote
+		before := c.Clock()
+		for i := 0; i < 5; i++ {
+			c.Poll(true, 42)
+		}
+		clocks[c.Rank()] = c.Clock() - before
+		comms[c.Rank()] = c.CommNS
+	})
+	for r := 0; r < 3; r++ {
+		if clocks[r] != 0 {
+			t.Errorf("rank %d clock advanced %d ns across polls", r, clocks[r])
+		}
+		if comms[r] != 0 {
+			t.Errorf("rank %d charged %d CommNS", r, comms[r])
+		}
+	}
+	if hooked != 0 {
+		t.Errorf("PMPI hook fired %d times during polls", hooked)
+	}
+}
+
+// TestPollSequenceIndependent: consecutive polls are independent votes —
+// a failed vote must not poison the next one.
+func TestPollSequenceIndependent(t *testing.T) {
+	var got [3]bool
+	world(2).Run(func(c *Comm) {
+		a := c.Poll(c.Rank() == 0, 1)      // split vote: false
+		b := c.Poll(true, 5)               // unanimous: true
+		d := c.Poll(true, int64(c.Rank())) // payload mismatch: false
+		if c.Rank() == 0 {
+			got = [3]bool{a, b, d}
+		}
+	})
+	if got != [3]bool{false, true, false} {
+		t.Fatalf("vote sequence = %v, want [false true false]", got)
+	}
+}

@@ -32,6 +32,7 @@ type sched struct {
 	runq  runHeap
 	live  int // ranks whose body has not returned
 	coll  collState
+	vote  pollState
 
 	// Event-core tallies, mutated only by the owning coroutine and
 	// flushed to package atomics after the world completes (stats.go).
@@ -256,6 +257,49 @@ func (s *sched) arrive(c *Comm) int64 {
 	c.state = stBlockedColl
 	s.yield(c)
 	return c.collMax
+}
+
+// pollState is the single in-flight zero-cost vote (polls are issued in
+// lockstep at iteration boundaries, the same invariant collState relies
+// on): the running AND of the votes and the payload-equality flag.
+type pollState struct {
+	count   int
+	all     bool
+	same    bool
+	first   int64
+	waiters []*Comm
+}
+
+// poll is the zero-cost unanimity rendezvous behind Comm.Poll. It mirrors
+// arrive's park/wake discipline but touches neither clocks nor CommNS:
+// the result is true iff every rank voted yes and every payload was equal.
+func (s *sched) poll(c *Comm, yes bool, payload int64) bool {
+	ps := &s.vote
+	if ps.count == 0 {
+		ps.all, ps.same, ps.first = true, true, payload
+	} else if payload != ps.first {
+		ps.same = false
+	}
+	if !yes {
+		ps.all = false
+	}
+	ps.count++
+	if ps.count == s.w.P {
+		res := ps.all && ps.same
+		for _, wtr := range ps.waiters {
+			wtr.pollRes = res
+			wtr.state = stRunnable
+			heap.Push(&s.runq, wtr)
+		}
+		s.noteRunq()
+		ps.waiters = ps.waiters[:0]
+		ps.count = 0
+		return res
+	}
+	ps.waiters = append(ps.waiters, c)
+	c.state = stBlockedColl
+	s.yield(c)
+	return c.pollRes
 }
 
 // runHeap orders runnable ranks by (virtual clock, rank): the earliest

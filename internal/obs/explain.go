@@ -37,10 +37,11 @@ type ExplainDoc struct {
 	// RealizedNS is the run's application execution time (slowest rank).
 	RealizedNS int64 `json:"realized_ns,omitempty"`
 
-	Decisions  []DecisionRecord  `json:"decisions,omitempty"`
-	Migrations []MigrationRecord `json:"migrations,omitempty"`
-	Reprofiles []ReprofileRecord `json:"reprofiles,omitempty"`
-	Regret     *RegretRecord     `json:"regret,omitempty"`
+	Decisions    []DecisionRecord    `json:"decisions,omitempty"`
+	Migrations   []MigrationRecord   `json:"migrations,omitempty"`
+	Reprofiles   []ReprofileRecord   `json:"reprofiles,omitempty"`
+	FastForwards []FastForwardRecord `json:"fastforwards,omitempty"`
+	Regret       *RegretRecord       `json:"regret,omitempty"`
 }
 
 // DecisionRecord is one placement decision (the first profile-driven one,
@@ -158,6 +159,23 @@ type ReprofileRecord struct {
 	Threshold float64 `json:"threshold"`
 }
 
+// FastForwardRecord is one analytic fast-forward event: a stable window
+// of iterations the harness skipped without simulation, advancing the
+// virtual clock in one step.
+type FastForwardRecord struct {
+	// EntryIter is the iteration index at which fast-forward engaged.
+	EntryIter int `json:"entry_iter"`
+	// ExitIter is the first iteration simulated again (EntryIter + Iters;
+	// equals the workload's iteration count when the run ended inside the
+	// window).
+	ExitIter int `json:"exit_iter"`
+	// Iters is the number of iterations computed analytically.
+	Iters int `json:"iters"`
+	// ClockDeltaNS is the virtual time the skipped window spanned on the
+	// recorded rank.
+	ClockDeltaNS int64 `json:"clock_delta_ns"`
+}
+
 // RegretRecord compares the run's realized execution time against the
 // oracle-best static placement priced by the same memoized model.
 type RegretRecord struct {
@@ -224,6 +242,21 @@ func (e *Explain) AddReprofile(r ReprofileRecord) {
 	e.mu.Unlock()
 }
 
+// AddFastForward appends one analytic fast-forward event.
+func (e *Explain) AddFastForward(entryIter, exitIter int, clockDeltaNS int64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.doc.FastForwards = append(e.doc.FastForwards, FastForwardRecord{
+		EntryIter:    entryIter,
+		ExitIter:     exitIter,
+		Iters:        exitIter - entryIter,
+		ClockDeltaNS: clockDeltaNS,
+	})
+	e.mu.Unlock()
+}
+
 // Finish stamps the run's identity and realized outcome, and derives the
 // regret figure from the recorded decisions' oracle baselines. Safe to
 // call once per run, after the result is known.
@@ -276,6 +309,7 @@ func (e *Explain) Doc() *ExplainDoc {
 	cp.Decisions = append([]DecisionRecord(nil), e.doc.Decisions...)
 	cp.Migrations = append([]MigrationRecord(nil), e.doc.Migrations...)
 	cp.Reprofiles = append([]ReprofileRecord(nil), e.doc.Reprofiles...)
+	cp.FastForwards = append([]FastForwardRecord(nil), e.doc.FastForwards...)
 	if e.doc.Regret != nil {
 		r := *e.doc.Regret
 		cp.Regret = &r

@@ -448,6 +448,63 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	r.register(&counterFuncFamily{name: name, help: help, fn: fn})
 }
 
+// CounterFuncVec is a labeled counter family whose children read external
+// monotonic sources at scrape time — CounterFunc partitioned by label
+// values (e.g. iteration totals by mode). A nil CounterFuncVec no-ops.
+type CounterFuncVec struct {
+	name   string
+	labels []string
+	mu     sync.Mutex
+	kids   []counterFuncChild
+}
+
+type counterFuncChild struct {
+	values []string
+	fn     func() float64
+}
+
+// With binds one label combination to its scrape-time source. fn must be
+// monotonic and safe to call concurrently; the value count must match the
+// registered label names. Children render in registration order.
+func (v *CounterFuncVec) With(fn func() float64, values ...string) {
+	if v == nil {
+		return
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.kids = append(v.kids, counterFuncChild{values: append([]string(nil), values...), fn: fn})
+}
+
+type counterFuncVecFamily struct {
+	help string
+	v    *CounterFuncVec
+}
+
+func (f *counterFuncVecFamily) meta() (string, string, string) { return f.v.name, f.help, "counter" }
+func (f *counterFuncVecFamily) write(b *strings.Builder) {
+	f.v.mu.Lock()
+	kids := append([]counterFuncChild(nil), f.v.kids...)
+	f.v.mu.Unlock()
+	for _, k := range kids {
+		fmt.Fprintf(b, "%s%s %s\n", f.v.name, labelPairs(f.v.labels, k.values), formatValue(k.fn()))
+	}
+}
+
+// CounterFuncVec registers a labeled scrape-time counter family (nil on a
+// nil registry).
+func (r *Registry) CounterFuncVec(name, help string, labels ...string) *CounterFuncVec {
+	if r == nil {
+		return nil
+	}
+	checkLabels(labels)
+	v := &CounterFuncVec{name: name, labels: labels}
+	r.register(&counterFuncVecFamily{help: help, v: v})
+	return v
+}
+
 // ---------------------------------------------------------------------------
 // Histogram
 

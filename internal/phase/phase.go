@@ -170,6 +170,22 @@ func (r *Registry) End(durNS float64) *Info {
 	return p
 }
 
+// FastForward advances the iteration counter by n without executing any
+// phases — the registry-side half of the analytic fast path, called when
+// the harness skips a stable window. It is only valid between
+// iterations (no phase open) on a sealed structure; positional matching
+// is untouched, so the next Begin continues the cycle exactly where a
+// simulated iteration would have.
+func (r *Registry) FastForward(n int) {
+	if n < 0 {
+		panic("phase: negative fast-forward")
+	}
+	if !r.sealed || r.pos != -1 {
+		panic("phase: FastForward mid-phase or before the structure sealed")
+	}
+	r.iter += n
+}
+
 // IterDurNS returns the sum of the most recent measured durations across
 // all phases — the runtime's estimate of one iteration's span.
 func (r *Registry) IterDurNS() float64 {

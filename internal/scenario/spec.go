@@ -484,6 +484,10 @@ func (s *Spec) Compile() (*workloads.Workload, error) {
 			},
 		})
 	}
+	// The per-iteration content is fully materialized above, so the
+	// change-point declaration the fast path consumes is one compile-time
+	// pass instead of a per-run scan.
+	w.ComputeContentEpochs()
 	return w, nil
 }
 

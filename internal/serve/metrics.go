@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"unimem"
+	"unimem/internal/app"
 	"unimem/internal/mpisim"
 	"unimem/internal/obs"
 )
@@ -204,6 +205,23 @@ func newServerMetrics(s *Server, disabled bool) *serverMetrics {
 		"Batch jobs accepted but not yet dispatched, across all sessions.", pool(true))
 	r.GaugeFunc("unimem_pool_jobs_running",
 		"Batch jobs executing right now, across all sessions.", pool(false))
+
+	// Analytic fast-path totals (process-wide, from internal/app).
+	fp := app.ReadFastPathTotals
+	r.CounterFunc("unimem_fastpath_memo_hits_total",
+		"Phase-memo hits across all executed runs.",
+		func() float64 { return float64(fp().MemoHits) })
+	r.CounterFunc("unimem_fastpath_memo_misses_total",
+		"Phase-memo misses across all executed runs.",
+		func() float64 { return float64(fp().MemoMisses) })
+	r.CounterFunc("unimem_fastpath_ff_total",
+		"Fast-forward episodes entered (steady windows skipped analytically).",
+		func() float64 { return float64(fp().FastForwards) })
+	iters := r.CounterFuncVec("unimem_fastpath_iters_total",
+		"Workload iterations completed, by mode: simulated event-for-event or computed analytically.",
+		"mode")
+	iters.With(func() float64 { return float64(fp().SimulatedIters) }, "simulated")
+	iters.With(func() float64 { return float64(fp().AnalyticIters) }, "analytic")
 
 	// Discrete-event core totals (process-wide, from internal/mpisim).
 	core := mpisim.ReadCoreStats

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"unimem"
+	"unimem/internal/app"
 	"unimem/internal/cluster"
 	"unimem/internal/exp"
 	"unimem/internal/lru"
@@ -652,6 +653,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Cache:      s.cache.Stats(),
+		FastPath:   app.ReadFastPathTotals(),
 		Uptime:     time.Since(s.started).Seconds(),
 		Build:      &BuildJSON{Version: Version(), Go: goVersion()},
 		Platforms:  Platforms(),

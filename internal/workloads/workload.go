@@ -127,6 +127,31 @@ func (p *Phase) CommBytesAt(iter int) int64 {
 	return p.CommBytes
 }
 
+// ContentKey digests everything this phase will do at the given
+// iteration that is rank-independent: kind, MPI operation and its
+// scheduled volume, flops, skew, and the full ground-truth reference
+// list. Two iterations with equal ContentKeys for every phase present
+// identical work to the simulator (per-rank scaling is a pure function
+// of the folded skew), which is what the analytic fast path's forward
+// scan relies on to bound a stable window.
+func (p *Phase) ContentKey(iter int) phase.Key {
+	d := phase.NewDigest().
+		Int(int(p.Kind)).
+		Int(int(p.Comm)).
+		Int64(p.CommBytesAt(iter)).
+		Float64(p.Flops).
+		Float64(p.RankSkew)
+	if p.Refs != nil {
+		for _, r := range p.Refs(iter) {
+			d = d.String(r.Object).
+				Int64(r.Accesses).
+				Float64(r.ReadFrac).
+				Int(int(r.Pattern))
+		}
+	}
+	return d.Key()
+}
+
 // RankScale returns the phase's load-imbalance factor for one rank of a
 // world of the given size.
 func (p *Phase) RankScale(rank, ranks int) float64 {
@@ -154,6 +179,39 @@ type Workload struct {
 	// experiment run cache keys on it, so two scenarios that share a name
 	// but differ anywhere in their spec never share cached results.
 	SpecDigest string
+	// ContentEpochs optionally declares, in increasing order, every
+	// iteration at which any phase's rank-independent content (content
+	// key) differs from the previous iteration's. nil means unknown: the
+	// fast path's forward scan verifies content keys iteration by
+	// iteration. A non-nil slice (possibly empty: fully stationary) is an
+	// exhaustive declaration — within two consecutive epochs all content
+	// keys are constant — which makes the scan O(#epochs) per episode
+	// instead of O(iterations). Producers that precompute per-iteration
+	// content anyway (scenario compilation) derive it with
+	// ComputeContentEpochs, so the declaration is the scan, hoisted to
+	// compile time.
+	ContentEpochs []int
+}
+
+// ComputeContentEpochs derives ContentEpochs by a single forward pass
+// over every phase's content keys — exactly the comparison the fast
+// path's scan would make per episode, paid once per workload instead.
+func (w *Workload) ComputeContentEpochs() {
+	epochs := []int{}
+	prev := make([]phase.Key, len(w.Phases))
+	for pi := range w.Phases {
+		prev[pi] = w.Phases[pi].ContentKey(0)
+	}
+	for iter := 1; iter < w.Iterations; iter++ {
+		for pi := range w.Phases {
+			k := w.Phases[pi].ContentKey(iter)
+			if k != prev[pi] && (len(epochs) == 0 || epochs[len(epochs)-1] != iter) {
+				epochs = append(epochs, iter)
+			}
+			prev[pi] = k
+		}
+	}
+	w.ContentEpochs = epochs
 }
 
 // Object returns the spec with the given name, or nil.

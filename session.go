@@ -32,6 +32,7 @@ type Session struct {
 	seed    uint64
 	workers int
 	window  int
+	exact   bool
 	eng     *exp.Engine
 }
 
@@ -112,6 +113,16 @@ func WithCache(c *RunCache) Option {
 	return func(s *Session) { s.eng.SetCache(c) }
 }
 
+// WithExactSim disables the analytic fast path for every run the session
+// executes: each iteration is simulated event-for-event even through
+// provably steady windows. Results are byte-identical either way — the
+// fast path only engages where extrapolation is exact — so this is a
+// verification and benchmarking knob, not a fidelity one. Per-job opt-out
+// is available through Job.Options.ExactSim.
+func WithExactSim() Option {
+	return func(s *Session) { s.exact = true }
+}
+
 // New returns a Session bound to machine m. By default the session runs
 // with DefaultConfig, a fresh private RunCache, and a GOMAXPROCS-wide
 // worker pool.
@@ -184,6 +195,10 @@ type Outcome struct {
 	// Explain is the job's decision-attribution document, snapshotted
 	// after the run when Options.Explain was set (nil otherwise).
 	Explain *ExplainDoc
+	// FastPath reports the analytic fast path's memo and fast-forward
+	// counters for this job. All zeros for cache hits, strategies whose
+	// managers cannot fast-forward, or runs opted out via ExactSim.
+	FastPath FastPathStats
 
 	mach *Machine
 }
@@ -242,9 +257,13 @@ func (s *Session) do(ctx context.Context, idx int, job Job) Outcome {
 	if opts.Seed == 0 {
 		opts.Seed = s.seed
 	}
+	if s.exact {
+		opts.ExactSim = true
+	}
 	var info exp.ExecInfo
 	o.Result, o.Runtimes, info, o.Err = s.eng.ExecuteInfo(ctx, job.Workload, s.m, job.Strategy, cfg, opts)
 	o.CacheHit = info.CacheHit
+	o.FastPath = info.FastPath
 	if opts.Explain != nil {
 		o.Explain = opts.Explain.Doc()
 	}

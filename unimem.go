@@ -171,6 +171,17 @@ type MigrationRecord = obs.MigrationRecord
 // RegretRecord is an ExplainDoc's realized-vs-oracle regret figure.
 type RegretRecord = obs.RegretRecord
 
+// FastForwardRecord is one analytic fast-forward episode within an
+// ExplainDoc: the iteration window skipped and the virtual time it
+// advanced in one step.
+type FastForwardRecord = obs.FastForwardRecord
+
+// FastPathStats summarizes the analytic fast path's work in one run:
+// phase-memo hits and misses, and how many iterations were simulated
+// event-for-event versus computed analytically (see Outcome.FastPath and
+// WithExactSim).
+type FastPathStats = app.FastPathStats
+
 // NewExplain returns an empty attribution recorder.
 func NewExplain() *Explain { return obs.NewExplain() }
 
